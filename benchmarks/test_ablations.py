@@ -1,0 +1,210 @@
+"""Ablation benches: the design choices DESIGN.md calls out.
+
+A1 idle threshold; A2 application hints; A3 disks per node (the §VII
+conjecture); A4 window predictor; A5 client replay discipline.
+"""
+
+from conftest import N_REQUESTS
+
+from repro.experiments.ablations import (
+    ablate_disks_per_node,
+    ablate_diurnal,
+    ablate_dynamic_prefetch,
+    ablate_hints,
+    ablate_idle_threshold,
+    ablate_node_scaling,
+    ablate_placement_policy,
+    ablate_replay_mode,
+    ablate_striping,
+    ablate_window_predictor,
+)
+from repro.metrics.report import format_table
+
+
+def test_idle_threshold(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablate_idle_threshold(n_requests=N_REQUESTS), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    savings = [c.energy_savings_pct for c in result.comparisons]
+    # Sleeping pays at every threshold tried; very large thresholds
+    # forgo savings relative to the paper's 5 s operating point.
+    paper_point = result.x_values.index(5.0)
+    assert all(s > 0 for s in savings)
+    assert savings[-1] <= savings[paper_point] + 0.5
+
+
+def test_application_hints(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablate_hints(n_requests=N_REQUESTS), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    with_hints, without = result.comparisons
+    # §IV-C: EEVFS works without hints, but hints buy response time --
+    # predictive wake-ups beat raw idle timers by a wide margin.
+    assert without.energy_savings_pct > 0
+    assert with_hints.response_penalty_pct < without.response_penalty_pct / 2
+    # Energy is a near wash: timers sleep 5 s later per window but never
+    # wake early; hints sleep sooner but pre-spin disks.  Both land in
+    # the same savings band (measured: ~11 +/- 1.5 points).
+    assert abs(with_hints.energy_savings_pct - without.energy_savings_pct) < 3.0
+
+
+def test_disks_per_node(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablate_disks_per_node(n_requests=N_REQUESTS), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    savings = [c.energy_savings_pct for c in result.comparisons]
+    # §VII: "We believe this number will increase as more disks are added
+    # to each EEVFS storage node."  Confirmed: monotone in disk count.
+    assert savings == sorted(savings)
+    assert savings[-1] > savings[0] * 1.5
+
+
+def test_striping(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablate_striping(n_requests=N_REQUESTS), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    savings = [c.energy_savings_pct for c in result.comparisons]
+    npf_response = [c.npf.mean_response_s for c in result.comparisons]
+    # §VII's hoped-for performance gain is real (NPF responses fall with
+    # width) ...
+    assert npf_response == sorted(npf_response, reverse=True)
+    # ... but "while still maintaining energy savings" only partially
+    # holds: savings shrink with width (every miss wakes all stripes).
+    assert savings == sorted(savings, reverse=True)
+    assert savings[-1] > 0  # still saves at width 4
+
+
+def test_window_predictor(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablate_window_predictor(n_requests=N_REQUESTS), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    sequence, time_based = result.comparisons
+    # Both predictors save energy at the default (unsaturated) point.
+    assert sequence.energy_savings_pct > 5.0
+    assert time_based.energy_savings_pct > 5.0
+
+
+def test_placement_policy(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablate_placement_policy(n_requests=N_REQUESTS), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    round_robin, weighted = result.comparisons
+    # Bandwidth-weighted placement must cut response times on the
+    # heterogeneous testbed without giving up energy savings.
+    assert weighted.pf.mean_response_s < 0.8 * round_robin.pf.mean_response_s
+    assert weighted.energy_savings_pct > round_robin.energy_savings_pct - 1.0
+
+
+def test_node_scaling(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablate_node_scaling(
+            node_counts=(2, 4, 8, 16), n_requests=N_REQUESTS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    savings = [c.energy_savings_pct for c in result.comparisons]
+    responses = [c.pf.mean_response_s for c in result.comparisons]
+    # §III-A scalability: at constant per-node load, savings and response
+    # stay flat as the cluster grows (the thin server never bottlenecks).
+    assert max(savings) - min(savings) < 4.0
+    assert max(responses) < 2.0 * min(responses)
+
+
+def test_diurnal_arrivals(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablate_diurnal(n_requests=N_REQUESTS), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    diurnal, constant = result.comparisons
+    # Matched volume: the look-ahead policy is burstiness-insensitive on
+    # energy (within ~2 points) ...
+    assert abs(diurnal.energy_savings_pct - constant.energy_savings_pct) < 2.0
+    assert diurnal.energy_savings_pct > 5.0
+    # ... and bursts cost at most a modest response-time premium.
+    assert diurnal.pf.mean_response_s < 1.5 * constant.pf.mean_response_s
+
+
+def test_dynamic_prefetch_under_drift(benchmark):
+    out = benchmark.pedantic(
+        lambda: ablate_dynamic_prefetch(n_requests=N_REQUESTS), rounds=1, iterations=1
+    )
+    rows = [
+        [name, r.energy_j, r.buffer_hit_rate, r.mean_response_s, r.prefetch_files_copied]
+        for name, r in out.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["policy", "energy_J", "hit_rate", "response_s", "files_copied"],
+            rows,
+            title="Ablation: dynamic re-prefetching on a drifting workload",
+        )
+    )
+    npf, static, dynamic = out["npf"], out["static"], out["dynamic"]
+    # Static prefetching decays as the hot set drifts away from the
+    # history it was planned on; dynamic tracking recovers the hit rate.
+    assert dynamic.buffer_hit_rate > 1.5 * static.buffer_hit_rate
+    # Both still beat NPF on energy.
+    assert static.energy_j < npf.energy_j
+    assert dynamic.energy_j < npf.energy_j
+
+
+def test_power_model_sensitivity(benchmark):
+    """The reproduction's conclusions must not hinge on the calibration
+    DESIGN.md chose for the unpublished power figures."""
+    from repro.experiments.sensitivity import (
+        power_model_sensitivity,
+        render_sensitivity,
+    )
+
+    grid = benchmark.pedantic(
+        lambda: power_model_sensitivity(n_requests=min(N_REQUESTS, 500)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_sensitivity(grid))
+    # PF wins everywhere on the +/-50 % base, +/-30 % disk grid, and the
+    # band stays in single-digit-to-twenties territory.
+    assert all(3.0 < value < 30.0 for value in grid.values())
+    # The nominal calibration sits inside the paper's 11-17 % band.
+    assert 9.0 <= grid[(1.0, 1.0)] <= 17.0
+
+
+def test_replay_modes(benchmark):
+    out = benchmark.pedantic(
+        lambda: ablate_replay_mode(n_requests=min(N_REQUESTS, 500)),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [mode, c.energy_savings_pct, c.pf.transitions, c.response_penalty_pct]
+        for mode, c in out.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["replay_mode", "savings_pct", "PF_transitions", "penalty_pct"],
+            rows,
+            title="Ablation: client replay discipline",
+        )
+    )
+    # Prefetching saves energy under every replay discipline.
+    for comparison in out.values():
+        assert comparison.energy_savings_pct > 0

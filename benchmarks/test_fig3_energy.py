@@ -1,0 +1,81 @@
+"""Fig. 3 regeneration: energy consumption, PF vs NPF, four panels.
+
+Each benchmark runs (or fetches) one Table-II sweep, prints the series
+the paper plots, and asserts the paper's *shape* claims for that panel
+(who wins, where the curve bends).  Absolute joules differ from the
+testbed; see EXPERIMENTS.md for the side-by-side.
+"""
+
+from conftest import series, sweep_cached
+
+from repro.metrics.report import format_series
+
+
+def _print_panel(letter, x_label, points):
+    print()
+    print(
+        format_series(
+            x_label,
+            [p.value for p in points],
+            {
+                "PF_energy_J": series(points, lambda c: c.pf.energy_j),
+                "NPF_energy_J": series(points, lambda c: c.npf.energy_j),
+                "savings_pct": series(points, lambda c: c.energy_savings_pct),
+            },
+            title=f"Fig3({letter})",
+        )
+    )
+
+
+def test_fig3a_data_size(benchmark):
+    points = benchmark.pedantic(
+        lambda: sweep_cached("data_size"), rounds=1, iterations=1
+    )
+    _print_panel("a", "Data Size (MB)", points)
+    savings = series(points, lambda c: c.energy_savings_pct)
+    # Paper: 11 % at 1 MB rising to 15 % at 50 MB; PF wins everywhere.
+    assert all(s > 5.0 for s in savings)
+    assert 8.0 <= savings[0] <= 16.0
+    # Paper: the 50 MB test saturates -- absolute energy jumps for BOTH
+    # modes because the run outlasts the trace.
+    pf_energy = series(points, lambda c: c.pf.energy_j)
+    assert pf_energy[3] > 1.3 * pf_energy[1]
+    durations = series(points, lambda c: c.pf.duration_s)
+    assert durations[3] > 1.2 * durations[1]
+
+
+def test_fig3b_mu(benchmark):
+    points = benchmark.pedantic(lambda: sweep_cached("mu"), rounds=1, iterations=1)
+    _print_panel("b", "MU", points)
+    savings = series(points, lambda c: c.energy_savings_pct)
+    # Paper: larger MU -> smaller gain; MU <= 100 all produce the same
+    # (saturated) savings because every request is prefetched.
+    assert savings[3] == min(savings)
+    assert max(savings[:3]) - min(savings[:3]) < 1.0
+    hit_rates = series(points, lambda c: c.pf.buffer_hit_rate)
+    assert all(h == 1.0 for h in hit_rates[:3])
+
+
+def test_fig3c_interarrival(benchmark):
+    points = benchmark.pedantic(
+        lambda: sweep_cached("inter_arrival"), rounds=1, iterations=1
+    )
+    _print_panel("c", "Inter-arrival delay (ms)", points)
+    savings = series(points, lambda c: c.energy_savings_pct)
+    # Paper: gains grow with inter-arrival delay and level off by 700 ms.
+    assert savings[1] < savings[2] + 1.0
+    assert savings[3] >= savings[1]
+    # IA=0 is the worst point for prefetching (heaviest load).
+    assert savings[0] == min(savings)
+
+
+def test_fig3d_prefetch_count(benchmark):
+    points = benchmark.pedantic(
+        lambda: sweep_cached("prefetch_count"), rounds=1, iterations=1
+    )
+    _print_panel("d", "# of files to prefetch", points)
+    savings = series(points, lambda c: c.energy_savings_pct)
+    # Paper: monotone growth; K=10 (1 % of files) saves only ~3 %.
+    assert savings == sorted(savings)
+    assert savings[0] < 8.0
+    assert savings[3] > 10.0

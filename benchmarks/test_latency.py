@@ -1,0 +1,62 @@
+"""Response-time decomposition at paper scale: where the time goes.
+
+Not a figure in the paper, but the measurement §VI-C reasons about
+informally ("response time penalties are generally a product of the
+state transitions"), made explicit: the PF-minus-NPF delta must live in
+the disk component (spin-up waits), not the network.
+"""
+
+import numpy as np
+
+from conftest import N_REQUESTS
+
+from repro.core import EEVFSConfig, run_eevfs
+from repro.metrics.report import format_table
+from repro.traces.synthetic import SyntheticWorkload, generate_synthetic_trace
+
+
+def test_latency_decomposition(benchmark):
+    trace = generate_synthetic_trace(
+        SyntheticWorkload(n_requests=N_REQUESTS), rng=np.random.default_rng(1)
+    )
+
+    def run_both():
+        return (
+            run_eevfs(trace, EEVFSConfig()),
+            run_eevfs(trace, EEVFSConfig(prefetch_enabled=False)),
+        )
+
+    pf, npf = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = []
+    for component in ("disk_s", "node_other_s", "network_server_s"):
+        rows.append(
+            [
+                component,
+                pf.latency_components[component].mean,
+                npf.latency_components[component].mean,
+            ]
+        )
+    rows.append(["total (mean response)", pf.mean_response_s, npf.mean_response_s])
+    print()
+    print(
+        format_table(
+            ["component", "PF_mean_s", "NPF_mean_s"],
+            rows,
+            title="Mean response time by component",
+        )
+    )
+
+    # Components tile the response in both modes.
+    for result in (pf, npf):
+        total = sum(stat.mean for stat in result.latency_components.values())
+        assert abs(total - result.mean_response_s) < 0.01 * result.mean_response_s
+    # §VI-C: the PF penalty is a disk-side (spin-up) phenomenon.
+    disk_delta = (
+        pf.latency_components["disk_s"].mean - npf.latency_components["disk_s"].mean
+    )
+    network_delta = abs(
+        pf.latency_components["network_server_s"].mean
+        - npf.latency_components["network_server_s"].mean
+    )
+    assert disk_delta > 0
+    assert disk_delta > 3 * network_delta

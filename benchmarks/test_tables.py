@@ -1,0 +1,29 @@
+"""Tables I and II regeneration (configuration fidelity checks)."""
+
+from repro.core.config import PARAMETER_GRID, default_cluster
+from repro.disk.specs import MB
+from repro.experiments.tables import table1, table2
+
+
+def test_table1_testbed(benchmark):
+    text = benchmark(table1)
+    print()
+    print(text)
+    cluster = default_cluster()
+    # Table I row checks: 8 storage nodes in two types.
+    assert cluster.n_nodes == 8
+    bandwidths = sorted({n.disk_spec.bandwidth_bps for n in cluster.storage_nodes})
+    assert bandwidths == [34 * MB, 58 * MB]
+    nics = sorted({n.nic_bps * 8 / 1e6 for n in cluster.storage_nodes})
+    assert nics == [100.0, 1000.0]
+
+
+def test_table2_parameters(benchmark):
+    text = benchmark(table2)
+    print()
+    print(text)
+    assert PARAMETER_GRID["data_size_mb"] == (1, 10, 25, 50)
+    assert PARAMETER_GRID["mu"] == (1, 10, 100, 1000)
+    assert PARAMETER_GRID["inter_arrival_ms"] == (0, 350, 700, 1000)
+    assert PARAMETER_GRID["prefetch_files"] == (10, 40, 70, 100)
+    assert PARAMETER_GRID["idle_threshold_s"] == (5,)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Scenario: a disk dies mid-run -- what survives?
+
+EEVFS has no replication, but its buffer-disk copies turn out to act as
+accidental replicas: reads of prefetched files keep succeeding after
+their data disk fails.  This drill kills one data disk per node type at
+different times and reports availability with and without prefetching.
+
+Run:  python examples/failure_drill.py
+"""
+
+import numpy as np
+
+from repro import EEVFSConfig
+from repro.core.filesystem import EEVFSCluster
+from repro.metrics import format_table
+from repro.traces import generate_synthetic_trace
+from repro.traces.synthetic import SyntheticWorkload
+
+
+def drill(config: EEVFSConfig, fail_at_s: float):
+    trace = generate_synthetic_trace(
+        SyntheticWorkload(n_requests=800), rng=np.random.default_rng(6)
+    )
+    cluster = EEVFSCluster(config=config)
+    cluster.nodes[0].data_disks[0].fail_at(fail_at_s)  # a type-1 node
+    cluster.nodes[4].data_disks[1].fail_at(fail_at_s * 2)  # a type-2 node
+    result = cluster.run(trace)
+    served = result.requests_total
+    failed = result.requests_failed
+    return {
+        "served": served,
+        "failed": failed,
+        "availability": served / (served + failed),
+        "energy_j": result.energy_j,
+    }
+
+
+def main() -> None:
+    rows = []
+    for label, config in (
+        ("NPF (no prefetch)", EEVFSConfig(prefetch_enabled=False)),
+        ("PF, K=70", EEVFSConfig(prefetch_files=70)),
+        ("PF, K=150", EEVFSConfig(prefetch_files=150)),
+    ):
+        outcome = drill(config, fail_at_s=60.0)
+        rows.append(
+            [
+                label,
+                outcome["served"],
+                outcome["failed"],
+                f"{outcome['availability']:.1%}",
+            ]
+        )
+    print("two data disks fail at t=60 s and t=120 s:\n")
+    print(format_table(["policy", "served", "failed", "availability"], rows))
+    print(
+        "\nPrefetching doubles as cheap read-availability: every buffer "
+        "copy is a replica\nof a hot file, so larger K shields more of "
+        "the request stream from dead spindles."
+    )
+
+
+if __name__ == "__main__":
+    main()

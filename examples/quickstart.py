@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: run EEVFS with and without prefetching on one workload.
+
+Builds the paper's 8-node testbed, generates the default Table-II
+synthetic workload (1000 files, 10 MB, MU=1000, 700 ms inter-arrival),
+and reports the three §V-C metrics for PF vs NPF.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import EEVFSConfig, run_eevfs
+from repro.metrics import compare
+from repro.traces import generate_synthetic_trace
+from repro.traces.synthetic import SyntheticWorkload
+
+
+def main() -> None:
+    # 1. A reproducible workload (the paper's defaults).
+    workload = SyntheticWorkload(n_requests=1000)
+    trace = generate_synthetic_trace(workload, rng=np.random.default_rng(1))
+    print(
+        f"workload: {trace.n_requests} requests over {trace.n_files} files, "
+        f"{trace.duration_s:.0f} s trace"
+    )
+
+    # 2. Same trace, two policies.
+    pf = run_eevfs(trace, EEVFSConfig(prefetch_enabled=True))
+    npf = run_eevfs(trace, EEVFSConfig(prefetch_enabled=False))
+    comparison = compare(pf, npf)
+
+    # 3. The paper's three metrics.
+    print(f"\nenergy   PF  {pf.energy_j / 1e5:.2f}e5 J")
+    print(f"energy   NPF {npf.energy_j / 1e5:.2f}e5 J")
+    print(f"savings      {comparison.energy_savings_pct:.1f} %")
+    print(f"\ntransitions  PF {pf.transitions}, NPF {npf.transitions}")
+    print(
+        f"response     PF {pf.mean_response_s:.3f} s, NPF {npf.mean_response_s:.3f} s "
+        f"(+{comparison.response_penalty_pct:.1f} %)"
+    )
+    print(f"buffer hits  {pf.buffer_hit_rate:.0%} of reads")
+    print(
+        f"\nprefetch     {pf.prefetch_files_copied} files "
+        f"({pf.prefetch_bytes_copied / 2**20:.0f} MiB) copied to buffer disks"
+    )
+
+
+if __name__ == "__main__":
+    main()

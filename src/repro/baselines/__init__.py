@@ -1,0 +1,45 @@
+"""Baselines and comparators from the paper's related-work section (§II).
+
+Each baseline reuses the same simulated cluster, so differences in
+energy/transitions/response time are attributable purely to policy:
+
+* :mod:`repro.baselines.npf`      -- EEVFS without prefetching (the paper's
+  own comparator in every figure),
+* :mod:`repro.baselines.alwayson` -- prefetching on, power management off
+  (isolates the caching effect from the sleep policy),
+* :mod:`repro.baselines.maid`     -- a MAID-style on-demand LRU cache disk
+  at the "storage-system level" [4],
+* :mod:`repro.baselines.pdc`      -- PDC-style popular-data concentration
+  [15] with idle-timer power management,
+* :mod:`repro.baselines.oracle`   -- perfect- and stale-popularity
+  prefetching bounds.
+"""
+
+from repro.baselines.npf import npf_config, run_npf
+from repro.baselines.alwayson import alwayson_config, run_alwayson
+from repro.baselines.maid import LRUFileCache, MAIDNode, maid_config, run_maid
+from repro.baselines.pdc import pdc_config, run_pdc
+from repro.baselines.oracle import run_oracle, run_with_stale_popularity
+from repro.baselines.lowpower import lowpower_cluster, run_lowpower
+from repro.baselines.drpm import DRPMNode, drpm_cluster, drpm_config, run_drpm
+
+__all__ = [
+    "DRPMNode",
+    "LRUFileCache",
+    "MAIDNode",
+    "drpm_cluster",
+    "drpm_config",
+    "run_drpm",
+    "alwayson_config",
+    "lowpower_cluster",
+    "maid_config",
+    "npf_config",
+    "pdc_config",
+    "run_alwayson",
+    "run_lowpower",
+    "run_maid",
+    "run_npf",
+    "run_oracle",
+    "run_pdc",
+    "run_with_stale_popularity",
+]

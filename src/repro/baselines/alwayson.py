@@ -1,0 +1,32 @@
+"""Always-on: prefetching enabled, power management disabled.
+
+This comparator is not in the paper but isolates the two halves of
+EEVFS: relative to NPF it shows what the buffer-disk *cache* alone buys
+(load shifting, response time); relative to PF it shows what the *sleep
+policy* alone buys (all of the energy savings).  It also bounds the
+transition count at zero by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.core.config import ClusterSpec, EEVFSConfig
+from repro.core.filesystem import RunResult, run_eevfs
+from repro.traces.model import Trace
+
+
+def alwayson_config(base: Optional[EEVFSConfig] = None) -> EEVFSConfig:
+    """Prefetch on, every disk permanently spinning."""
+    return replace(base or EEVFSConfig(), prefetch_enabled=True, power_management_enabled=False)
+
+
+def run_alwayson(
+    trace: Trace,
+    base: Optional[EEVFSConfig] = None,
+    cluster: Optional[ClusterSpec] = None,
+    seed: int = 0,
+) -> RunResult:
+    """Run the always-on (caching-only) comparator on *trace*."""
+    return run_eevfs(trace, config=alwayson_config(base), cluster=cluster, seed=seed)

@@ -1,0 +1,95 @@
+"""DRPM-style multi-speed disk baseline (Gurumurthi et al. [10]).
+
+§II: "One successful approach to overcoming large break-even times is to
+use multi-speed disks ... The weakness of using multi-speed disks is
+that there are few commercial multi-speed disks currently available on
+the market."
+
+This comparator swaps every data disk for a two-speed drive and applies
+the simplest credible DRPM policy: after the idle threshold, shift to
+the low-RPM point (a ~1 s / 9 J shift instead of a full spin-down) and
+*serve from there* -- a low-speed disk can still answer requests, only
+slower.  We deliberately never shift back up (the maximally
+energy-biased variant); the response cost shows up as stretched
+transfers rather than 2 s spin-up stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.core.config import ClusterSpec, EEVFSConfig, default_cluster
+from repro.core.filesystem import EEVFSCluster, RunResult
+from repro.core.node import StorageNode
+from repro.disk.specs import MULTISPEED_80GB, DiskSpec
+from repro.traces.model import Trace
+
+
+class DRPMNode(StorageNode):
+    """Storage node whose idle timers shift disks to low speed."""
+
+    DISK_IDLE_ACTION = "low_speed"
+
+    def shift_counts(self) -> int:
+        """Total speed shifts across this node's data disks."""
+        return sum(d.shift_count for d in self.data_disks)
+
+
+class TwoStageDRPMNode(DRPMNode):
+    """Hybrid: shift to low speed first, standby after prolonged idleness.
+
+    Low speed absorbs the short idle windows cheaply (1 s / 9 J shifts);
+    windows that stretch past the second-stage timer graduate to full
+    standby for the deep savings.  Spin-ups from standby still cost ~2 s,
+    but only the genuinely long windows ever get there.
+    """
+
+    DISK_SECOND_STAGE_S = 30.0
+
+
+def drpm_cluster(
+    base: Optional[ClusterSpec] = None,
+    disk: DiskSpec = MULTISPEED_80GB,
+) -> ClusterSpec:
+    """The base cluster with multi-speed data disks.
+
+    Buffer disks stay single-speed: they are never power-managed, so a
+    multi-speed buffer would be wasted capability.
+    """
+    if not disk.is_multi_speed:
+        raise ValueError(f"{disk.name} is not a multi-speed drive")
+    base = base or default_cluster()
+    nodes = tuple(
+        replace(node, disk_spec=disk, buffer_disk_spec=node.buffer_spec)
+        for node in base.storage_nodes
+    )
+    return replace(base, storage_nodes=nodes)
+
+
+def drpm_config(base: Optional[EEVFSConfig] = None) -> EEVFSConfig:
+    """DRPM policy: idle timers only, no prefetching, no hints."""
+    return replace(
+        base or EEVFSConfig(),
+        prefetch_enabled=False,
+        power_manage_without_prefetch=True,
+        use_hints=False,
+        wake_ahead=False,
+    )
+
+
+def run_drpm(
+    trace: Trace,
+    base_cluster: Optional[ClusterSpec] = None,
+    base_config: Optional[EEVFSConfig] = None,
+    seed: int = 0,
+    two_stage: bool = False,
+) -> RunResult:
+    """Run the DRPM comparator on *trace* (optionally the hybrid)."""
+    deployment = EEVFSCluster(
+        cluster=drpm_cluster(base_cluster),
+        config=drpm_config(base_config),
+        seed=seed,
+        node_class=TwoStageDRPMNode if two_stage else DRPMNode,
+    )
+    return deployment.run(trace)

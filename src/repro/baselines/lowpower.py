@@ -1,0 +1,54 @@
+"""Low-power disk replacement baseline (§II, [20]/[21]).
+
+"Another way to reduce energy dissipation in storage systems is to
+replace high-performance disks with new energy-efficient disks. ... Low
+power disk systems are an ideal candidate for energy savings, but they
+may not always be a feasible alternative.  The goal of this study is to
+develop an energy-efficient file system for existing disk arrays without
+requiring any changes in the storage system hardware."
+
+This baseline quantifies the road not taken: the same cluster with every
+disk swapped for a 2.5-inch mobile drive, running plain NPF (the drives'
+inherent efficiency is the whole strategy).  Comparing it against EEVFS
+on the original disks shows the energy/performance/procurement triangle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.core.config import ClusterSpec, EEVFSConfig, default_cluster
+from repro.core.filesystem import RunResult, run_eevfs
+from repro.disk.specs import LOWPOWER_25IN_160GB, DiskSpec
+from repro.traces.model import Trace
+
+
+def lowpower_cluster(
+    base: Optional[ClusterSpec] = None,
+    disk: DiskSpec = LOWPOWER_25IN_160GB,
+) -> ClusterSpec:
+    """The base cluster with every node's disks replaced by *disk*."""
+    base = base or default_cluster()
+    nodes = tuple(
+        replace(node, disk_spec=disk, buffer_disk_spec=disk)
+        for node in base.storage_nodes
+    )
+    return replace(base, storage_nodes=nodes)
+
+
+def run_lowpower(
+    trace: Trace,
+    base_cluster: Optional[ClusterSpec] = None,
+    config: Optional[EEVFSConfig] = None,
+    seed: int = 0,
+) -> RunResult:
+    """Run the low-power-hardware baseline (NPF on mobile drives).
+
+    ``config`` overrides the policy if a power-managed variant is wanted
+    (e.g. EEVFS *on* low-power disks, the best of both worlds).
+    """
+    policy = config if config is not None else EEVFSConfig().as_npf()
+    return run_eevfs(
+        trace, config=policy, cluster=lowpower_cluster(base_cluster), seed=seed
+    )

@@ -1,0 +1,31 @@
+"""NPF: EEVFS with the prefetching flag cleared (§V-B).
+
+"EEVFS with the prefetching flag set is represented as PF in the figures
+and NPF represents EEVFS without prefetching."  In NPF mode the data
+disks serve every request and are never power-managed -- §IV-C's
+conservative stance: without the opportunities prefetching manufactures,
+"EEVFS will not place disks into the standby state".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import ClusterSpec, EEVFSConfig
+from repro.core.filesystem import RunResult, run_eevfs
+from repro.traces.model import Trace
+
+
+def npf_config(base: Optional[EEVFSConfig] = None) -> EEVFSConfig:
+    """The NPF policy derived from *base* (defaults preserved)."""
+    return (base or EEVFSConfig()).as_npf()
+
+
+def run_npf(
+    trace: Trace,
+    base: Optional[EEVFSConfig] = None,
+    cluster: Optional[ClusterSpec] = None,
+    seed: int = 0,
+) -> RunResult:
+    """Run the NPF comparator on *trace*."""
+    return run_eevfs(trace, config=npf_config(base), cluster=cluster, seed=seed)

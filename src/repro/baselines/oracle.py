@@ -1,0 +1,49 @@
+"""Popularity-knowledge bounds: oracle and stale-popularity runs.
+
+The prototype derives popularity from the very trace it replays (§IV-A),
+which is an *oracle*: the ranking is exactly right for the future.  In
+production the log would come from yesterday's workload.  These helpers
+quantify the gap:
+
+* :func:`run_oracle` -- popularity from the replay trace itself (the
+  paper's methodology; an upper bound on prefetch accuracy),
+* :func:`run_with_stale_popularity` -- popularity from a *different*
+  history trace, modelling drifted access patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import ClusterSpec, EEVFSConfig
+from repro.core.filesystem import EEVFSCluster, RunResult
+from repro.traces.model import Trace
+
+
+def run_oracle(
+    trace: Trace,
+    config: Optional[EEVFSConfig] = None,
+    cluster: Optional[ClusterSpec] = None,
+    seed: int = 0,
+) -> RunResult:
+    """EEVFS with oracle popularity (history == replay trace)."""
+    deployment = EEVFSCluster(cluster=cluster, config=config, seed=seed)
+    return deployment.run(trace, history=trace)
+
+
+def run_with_stale_popularity(
+    trace: Trace,
+    history: Trace,
+    config: Optional[EEVFSConfig] = None,
+    cluster: Optional[ClusterSpec] = None,
+    seed: int = 0,
+) -> RunResult:
+    """EEVFS with popularity (placement + prefetch set) from *history*.
+
+    Application hints (step 4) still describe the replay trace -- they
+    come from the application, not the log (§IV-C).
+    """
+    if {f.file_id for f in history.files} != {f.file_id for f in trace.files}:
+        raise ValueError("history and trace must share a catalog")
+    deployment = EEVFSCluster(cluster=cluster, config=config, seed=seed)
+    return deployment.run(trace, history=history)

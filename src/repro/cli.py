@@ -1,0 +1,348 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands regenerate the paper's artifacts (tables, figures) and run the
+extension studies.  ``--requests`` scales the trace length (the paper
+uses 1000); ``--seed`` controls all stochastic components.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments.ablations import (
+    ablate_disks_per_node,
+    ablate_hints,
+    ablate_idle_threshold,
+    ablate_replay_mode,
+    ablate_window_predictor,
+)
+from repro.experiments.figures import figure3, figure4, figure5, figure6
+from repro.experiments.sweeps import run_all_sweeps
+from repro.experiments.tables import table1, table2
+from repro.metrics.report import format_table
+
+
+def _cmd_tables(args: argparse.Namespace) -> None:
+    print(table1())
+    print()
+    print(table2())
+
+
+def _cmd_figures(args: argparse.Namespace) -> None:
+    from repro.experiments.export import (
+        write_figure_csv,
+        write_figure_json,
+    )
+
+    out_dir = getattr(args, "out", None)
+    wanted = set(args.figures or ["3", "4", "5", "6"])
+    produced = []
+    if wanted & {"3", "4", "5"}:
+        sweeps = run_all_sweeps(n_requests=args.requests, seed=args.seed)
+        builders = {"3": figure3, "4": figure4, "5": figure5}
+        for key in ("3", "4", "5"):
+            if key in wanted:
+                figure = builders[key](sweeps)
+                print(figure.render(), end="\n\n")
+                if getattr(args, "chart", False):
+                    from repro.metrics.chart import panel_chart
+
+                    for letter in sorted(figure.panels):
+                        panel = figure.panels[letter]
+                        names = [n for n in panel.series if not n.endswith("_pct")]
+                        print(panel_chart(panel, series_names=names), end="\n\n")
+                produced.append(figure)
+    if "6" in wanted:
+        fig6 = figure6(n_requests=args.requests, seed=args.seed)
+        print(fig6.render())
+        produced.append(fig6)
+    if out_dir:
+        from pathlib import Path
+
+        from repro.experiments.figures import Figure6Result
+
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        for figure in produced:
+            if isinstance(figure, Figure6Result):
+                write_figure_json(figure, out / "fig6.json")
+            elif args.format == "json":
+                write_figure_json(figure, out / f"{figure.figure.lower()}.json")
+            else:
+                write_figure_csv(figure, out)
+        print(f"\nexported to {out}/", flush=True)
+
+
+def _cmd_baselines(args: argparse.Namespace) -> None:
+    import numpy as np
+
+    from repro.baselines import (
+        run_alwayson,
+        run_drpm,
+        run_lowpower,
+        run_maid,
+        run_npf,
+        run_pdc,
+    )
+    from repro.core import EEVFSConfig, run_eevfs
+    from repro.traces.synthetic import MB, SyntheticWorkload, generate_synthetic_trace
+
+    trace = generate_synthetic_trace(
+        SyntheticWorkload(n_requests=args.requests),
+        rng=np.random.default_rng(1),
+    )
+    rows = []
+    runs = {
+        "EEVFS-PF": run_eevfs(trace, EEVFSConfig(), seed=args.seed),
+        "EEVFS-NPF": run_npf(trace, seed=args.seed),
+        "Always-on": run_alwayson(trace, seed=args.seed),
+        "MAID": run_maid(trace, cache_bytes=700 * MB, seed=args.seed),
+        "PDC": run_pdc(trace, seed=args.seed),
+        "DRPM": run_drpm(trace, seed=args.seed),
+        "Low-power HW": run_lowpower(trace, seed=args.seed),
+    }
+    for name, result in runs.items():
+        rows.append(
+            [
+                name,
+                result.energy_j,
+                result.transitions,
+                result.mean_response_s,
+                result.buffer_hit_rate,
+            ]
+        )
+    print(
+        format_table(
+            ["system", "energy_J", "transitions", "mean_response_s", "hit_rate"],
+            rows,
+            title="Baseline shoot-out (defaults: 10 MB, MU=1000, IA=700 ms, K=70)",
+        )
+    )
+
+
+def _cmd_ablations(args: argparse.Namespace) -> None:
+    print(ablate_idle_threshold(n_requests=args.requests, seed=args.seed).render())
+    print()
+    print(ablate_hints(n_requests=args.requests, seed=args.seed).render())
+    print()
+    print(ablate_disks_per_node(n_requests=args.requests, seed=args.seed).render())
+    print()
+    print(ablate_window_predictor(n_requests=args.requests, seed=args.seed).render())
+    print()
+    modes = ablate_replay_mode(n_requests=min(args.requests, 500), seed=args.seed)
+    rows = [
+        [mode, c.energy_savings_pct, c.pf.transitions, c.response_penalty_pct]
+        for mode, c in modes.items()
+    ]
+    print(
+        format_table(
+            ["replay_mode", "savings_pct", "PF_transitions", "penalty_pct"],
+            rows,
+            title="=== Ablation: client replay discipline ===",
+        )
+    )
+
+
+def _cmd_compare(args: argparse.Namespace) -> None:
+    """Deep-dive PF vs NPF at the defaults: totals, breakdowns, wear."""
+    import numpy as np
+
+    from repro.core import EEVFSConfig, run_eevfs
+    from repro.core.configio import load_experiment_config
+    from repro.metrics import compare
+    from repro.metrics.breakdown import breakdown_table, compare_breakdowns
+    from repro.metrics.wear import wear_report
+    from repro.traces.synthetic import SyntheticWorkload, generate_synthetic_trace
+
+    config, cluster = EEVFSConfig(), None
+    if args.config:
+        loaded_config, cluster = load_experiment_config(args.config)
+        if loaded_config is not None:
+            config = loaded_config
+    trace = generate_synthetic_trace(
+        SyntheticWorkload(n_requests=args.requests), rng=np.random.default_rng(1)
+    )
+    pf = run_eevfs(trace, config.as_pf(), cluster=cluster, seed=args.seed)
+    npf = run_eevfs(trace, config.as_npf(), cluster=cluster, seed=args.seed)
+    comparison = compare(pf, npf)
+    print(
+        f"savings {comparison.energy_savings_pct:.1f} %, "
+        f"penalty {comparison.response_penalty_pct:.1f} %, "
+        f"transitions {pf.transitions}, hit rate {pf.buffer_hit_rate:.0%}\n"
+    )
+    print(compare_breakdowns(pf, npf))
+    print()
+    print(breakdown_table(pf))
+    worst = wear_report(pf).worst
+    if worst is not None:
+        print(
+            f"\nwear: worst drive {worst.name} reaches its rated start/stop "
+            f"budget in {worst.years_to_limit:.2f} years at this duty cycle"
+        )
+    else:
+        print("\nwear: no spin-ups occurred; start/stop budget untouched")
+
+
+def _cmd_report(args: argparse.Namespace) -> None:
+    from repro.experiments.paper import generate_report
+
+    report = generate_report(n_requests=args.requests, seed=args.seed)
+    if args.out:
+        report.write(args.out)
+        print(f"report written to {args.out}")
+    else:
+        print(report.markdown)
+
+
+def _cmd_verify(args: argparse.Namespace) -> None:
+    from repro.experiments.validation import (
+        all_passed,
+        render_validation,
+        validate_reproduction,
+    )
+
+    checks = validate_reproduction(n_requests=args.requests, seed=args.seed)
+    print(render_validation(checks))
+    if not all_passed(checks):
+        raise SystemExit(1)
+
+
+def _cmd_wear(args: argparse.Namespace) -> None:
+    import numpy as np
+
+    from repro.core import EEVFSConfig, run_eevfs
+    from repro.metrics.wear import wear_report
+    from repro.traces.synthetic import SyntheticWorkload, generate_synthetic_trace
+
+    trace = generate_synthetic_trace(
+        SyntheticWorkload(n_requests=args.requests), rng=np.random.default_rng(1)
+    )
+    result = run_eevfs(
+        trace, EEVFSConfig(prefetch_files=args.prefetch), seed=args.seed
+    )
+    report = wear_report(result)
+    print(
+        format_table(
+            ["disk", "spin-ups", "cycles/year", "years to rated limit"],
+            report.rows(),
+            title=f"Start/stop wear (K={args.prefetch}, 50k-cycle rating)",
+        )
+    )
+    worst = report.worst
+    if worst is not None:
+        print(
+            f"\nworst drive: {worst.name} -- "
+            f"{worst.years_to_limit:.1f} years at this duty cycle"
+        )
+
+
+def _cmd_trace_gen(args: argparse.Namespace) -> None:
+    import numpy as np
+
+    from repro.traces import write_trace
+    from repro.traces.berkeley import BerkeleyWebWorkload, generate_berkeley_like_trace
+    from repro.traces.nonstationary import DriftingWorkload, generate_drifting_trace
+    from repro.traces.synthetic import MB, SyntheticWorkload, generate_synthetic_trace
+
+    rng = np.random.default_rng(args.seed)
+    if args.kind == "synthetic":
+        trace = generate_synthetic_trace(
+            SyntheticWorkload(
+                n_requests=args.requests,
+                mu=args.mu,
+                data_size_bytes=int(args.size_mb * MB),
+                inter_arrival_s=args.inter_arrival_ms / 1000.0,
+            ),
+            rng=rng,
+        )
+    elif args.kind == "berkeley":
+        trace = generate_berkeley_like_trace(
+            BerkeleyWebWorkload(n_requests=args.requests), rng=rng
+        )
+    else:  # drifting
+        trace = generate_drifting_trace(
+            DriftingWorkload(n_requests=args.requests), rng=rng
+        )
+    write_trace(trace, args.path)
+    print(
+        f"wrote {trace.n_requests} requests over {trace.n_files} files "
+        f"({trace.duration_s:.0f} s) to {args.path}"
+    )
+
+
+def _cmd_trace_stats(args: argparse.Namespace) -> None:
+    from repro.traces import read_trace
+    from repro.traces.stats import summarize
+
+    trace = read_trace(args.path)
+    for key, value in summarize(trace).items():
+        print(f"{key:22s} {value}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="eevfs",
+        description="Reproduce the EEVFS (ICPP 2010) evaluation.",
+    )
+    parser.add_argument("--requests", type=int, default=1000, help="trace length")
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables I and II").set_defaults(
+        func=_cmd_tables
+    )
+    figures = sub.add_parser("figures", help="regenerate Figs. 3-6")
+    figures.add_argument(
+        "figures", nargs="*", choices=["3", "4", "5", "6"], help="subset to run"
+    )
+    figures.add_argument("--out", help="directory for CSV/JSON export")
+    figures.add_argument(
+        "--chart", action="store_true", help="also draw ASCII bar charts"
+    )
+    figures.add_argument(
+        "--format", choices=["csv", "json"], default="csv", help="export format"
+    )
+    figures.set_defaults(func=_cmd_figures)
+    sub.add_parser("baselines", help="EEVFS vs MAID/PDC/always-on").set_defaults(
+        func=_cmd_baselines
+    )
+    sub.add_parser("ablations", help="extension studies").set_defaults(
+        func=_cmd_ablations
+    )
+    sub.add_parser(
+        "verify", help="run every reproduction shape check (pass/fail)"
+    ).set_defaults(func=_cmd_verify)
+    report = sub.add_parser("report", help="full Markdown reproduction report")
+    report.add_argument("--out", help="output file (default: stdout)")
+    report.set_defaults(func=_cmd_report)
+    comparer = sub.add_parser(
+        "compare", help="PF vs NPF deep dive (breakdowns, wear)"
+    )
+    comparer.add_argument("--config", help="experiment JSON (see repro.core.configio)")
+    comparer.set_defaults(func=_cmd_compare)
+    wear = sub.add_parser("wear", help="start/stop wear projection (§VI-B)")
+    wear.add_argument("--prefetch", type=int, default=70, help="prefetch depth K")
+    wear.set_defaults(func=_cmd_wear)
+    gen = sub.add_parser("trace-gen", help="generate a workload trace file")
+    gen.add_argument("kind", choices=["synthetic", "berkeley", "drifting"])
+    gen.add_argument("path", help="output trace file")
+    gen.add_argument("--mu", type=float, default=1000.0)
+    gen.add_argument("--size-mb", type=float, default=10.0)
+    gen.add_argument("--inter-arrival-ms", type=float, default=700.0)
+    gen.set_defaults(func=_cmd_trace_gen)
+    stats = sub.add_parser("trace-stats", help="summarise a trace file")
+    stats.add_argument("path", help="trace file (see repro.traces.logio)")
+    stats.set_defaults(func=_cmd_trace_stats)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

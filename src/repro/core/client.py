@@ -1,0 +1,232 @@
+"""The trace-replaying client (Fig. 2 steps 5-6).
+
+The client issues requests *open loop* at the trace's timestamps -- it
+never waits for one response before sending the next, which is what lets
+queues build at the server/nodes under heavy load (the 50 MB / 700 ms
+saturation the paper observes in §VI-A).  Response time is measured from
+issue to full data delivery at the client.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.protocol import (
+    FileData,
+    FileRequest,
+    RequestFailed,
+    WriteAck,
+    next_request_id,
+)
+from repro.net.fabric import Fabric
+from repro.sim.engine import Simulator
+from repro.sim.monitor import TallyStat
+from repro.sim.resources import Resource
+from repro.traces.model import Trace
+
+
+class ClientDriver:
+    """Replays a trace against the storage server and collects timings."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        nic_bps: float,
+        name: str = "client",
+        server_name: str = "server",
+        max_outstanding: int = 2,
+    ) -> None:
+        if max_outstanding < 1:
+            raise ValueError(f"max_outstanding must be >= 1, got {max_outstanding!r}")
+        self.max_outstanding = max_outstanding
+        self.sim = sim
+        self.fabric = fabric
+        self.name = name
+        self.server_name = server_name
+        self.endpoint = fabric.add_endpoint(name, nic_bps)
+        self.response_times = TallyStat(name=f"{name}:response_s", keep_samples=True)
+        #: Response-time decomposition over FileData replies: time on the
+        #: disk, the rest of the node's handling, and everything outside
+        #: the node (client->server->node control path + data transfer).
+        self.latency_components = {
+            "disk_s": TallyStat(name="disk_s"),
+            "node_other_s": TallyStat(name="node_other_s"),
+            "network_server_s": TallyStat(name="network_server_s"),
+        }
+        #: request_id -> issue time of requests awaiting a response.
+        self._pending: Dict[int, float] = {}
+        #: request_id -> completion event (closed-loop replay only).
+        self._waiters: Dict[int, object] = {}
+        self._replay_finished = False
+        self._drained = sim.event()
+        #: (request_id, file_id, served_by, response_s) per completion.
+        self.completions: list[tuple[int, int, str, float]] = []
+        #: (request_id, file_id, reason) per failed request.
+        self.failures: list[tuple[int, int, str]] = []
+        self._dispatcher = sim.process(self._dispatch_loop())
+
+    # -- public API --------------------------------------------------------------------
+
+    def replay(self, trace: Trace, epoch_s: float = 0.0, mode: str = "open"):
+        """Start replaying *trace* offset to begin at *epoch_s*.
+
+        Three replay disciplines:
+
+        * ``"open"`` -- issue at the trace timestamps regardless of
+          completions; queues may grow without bound.
+        * ``"paced"`` (the canonical mode) -- a small-thread-pool replayer
+          (``max_outstanding`` workers): issue at the trace timestamp but
+          never exceed the window.  Under light load this equals open-loop
+          pacing; under overload the schedule drifts and the run outlasts
+          the trace, which is the §VI-A observation that the 50 MB test
+          "runs longer than the original trace time causing the overall
+          energy output to increase".
+        * ``"closed"`` -- issue, block for the response, sleep the trace's
+          inter-arrival gap, repeat (timestamps ignored, gaps honoured).
+
+        Returns a process that completes once every response has arrived.
+        """
+        if epoch_s < self.sim.now:
+            raise ValueError(
+                f"epoch {epoch_s!r} is in the past (now={self.sim.now!r})"
+            )
+        if mode == "open":
+            return self.sim.process(self._replay(trace, epoch_s))
+        if mode == "paced":
+            return self.sim.process(self._replay_paced(trace, epoch_s))
+        if mode == "closed":
+            return self.sim.process(self._replay_closed(trace, epoch_s))
+        raise ValueError(f"unknown replay mode: {mode!r}")
+
+    @property
+    def outstanding(self) -> int:
+        """Requests issued but not yet answered."""
+        return len(self._pending)
+
+    # -- internals -------------------------------------------------------------------------
+
+    def _replay(self, trace: Trace, epoch_s: float):
+        for request in trace.requests:
+            target = epoch_s + request.time_s
+            if target > self.sim.now:
+                yield self.sim.timeout(target - self.sim.now)
+            request_id = next_request_id()
+            self._pending[request_id] = self.sim.now
+            payload = FileRequest(
+                request_id=request_id,
+                file_id=request.file_id,
+                op=request.op,
+                client=self.name,
+                issued_at=self.sim.now,
+            )
+            # Open loop: fire and move on.
+            self.fabric.send(self.name, self.server_name, payload)
+        self._replay_finished = True
+        if self._pending:
+            yield self._drained
+        return self.response_times
+
+    def _replay_paced(self, trace: Trace, epoch_s: float):
+        slots = Resource(self.sim, capacity=self.max_outstanding)
+        for request in trace.requests:
+            target = epoch_s + request.time_s
+            if target > self.sim.now:
+                yield self.sim.timeout(target - self.sim.now)
+            slot = slots.request()
+            yield slot
+            request_id = next_request_id()
+            issued = self.sim.now
+            self._pending[request_id] = issued
+            done = self.sim.event()
+            self._waiters[request_id] = done
+            self.fabric.send(
+                self.name,
+                self.server_name,
+                FileRequest(
+                    request_id=request_id,
+                    file_id=request.file_id,
+                    op=request.op,
+                    client=self.name,
+                    issued_at=issued,
+                ),
+            )
+            self.sim.process(self._release_on(done, slots, slot))
+        self._replay_finished = True
+        if self._pending:
+            yield self._drained
+        return self.response_times
+
+    @staticmethod
+    def _release_on(done, slots, slot):
+        yield done
+        slots.release(slot)
+
+    def _replay_closed(self, trace: Trace, epoch_s: float):
+        if epoch_s > self.sim.now:
+            yield self.sim.timeout(epoch_s - self.sim.now)
+        previous_t: Optional[float] = None
+        for request in trace.requests:
+            if previous_t is not None:
+                gap = request.time_s - previous_t
+                if gap > 0:
+                    yield self.sim.timeout(gap)
+            previous_t = request.time_s
+            request_id = next_request_id()
+            issued = self.sim.now
+            self._pending[request_id] = issued
+            done = self.sim.event()
+            self._waiters[request_id] = done
+            self.fabric.send(
+                self.name,
+                self.server_name,
+                FileRequest(
+                    request_id=request_id,
+                    file_id=request.file_id,
+                    op=request.op,
+                    client=self.name,
+                    issued_at=issued,
+                ),
+            )
+            yield done
+        self._replay_finished = True
+        return self.response_times
+
+    def _dispatch_loop(self):
+        while True:
+            message = yield self.endpoint.receive()
+            payload = message.payload
+            if isinstance(payload, (FileData, WriteAck)):
+                issued = self._pending.pop(payload.request_id, None)
+                if issued is None:  # pragma: no cover - defensive
+                    raise KeyError(f"response for unknown request {payload!r}")
+                elapsed = self.sim.now - issued
+                self.response_times.record(elapsed)
+                if isinstance(payload, FileData):
+                    self.latency_components["disk_s"].record(payload.disk_time_s)
+                    self.latency_components["node_other_s"].record(
+                        max(0.0, payload.node_time_s - payload.disk_time_s)
+                    )
+                    self.latency_components["network_server_s"].record(
+                        max(0.0, elapsed - payload.node_time_s)
+                    )
+                self.completions.append(
+                    (payload.request_id, payload.file_id, payload.served_by, elapsed)
+                )
+                waiter = self._waiters.pop(payload.request_id, None)
+                if waiter is not None:
+                    waiter.succeed()
+                if self._replay_finished and not self._pending:
+                    self._drained.succeed()
+            elif isinstance(payload, RequestFailed):
+                self._pending.pop(payload.request_id, None)
+                self.failures.append(
+                    (payload.request_id, payload.file_id, payload.reason)
+                )
+                waiter = self._waiters.pop(payload.request_id, None)
+                if waiter is not None:
+                    waiter.succeed()
+                if self._replay_finished and not self._pending:
+                    self._drained.succeed()
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"client cannot handle {payload!r}")

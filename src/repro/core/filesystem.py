@@ -1,0 +1,306 @@
+"""The EEVFS facade: build a cluster, run a trace, collect results.
+
+:class:`EEVFSCluster` wires the simulator, fabric, storage server,
+storage nodes and a client driver together; :meth:`EEVFSCluster.run`
+executes Fig. 2 end to end and returns a :class:`RunResult` with exactly
+the paper's three metrics (energy, state transitions, response time)
+plus the raw material behind them.
+
+``run_eevfs(trace, config)`` is the one-call entry point most examples
+and benchmarks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.client import ClientDriver
+from repro.core.config import ClusterSpec, EEVFSConfig, default_cluster
+from repro.core.node import StorageNode
+from repro.core.server import StorageServer
+from repro.net.fabric import Fabric
+from repro.sim.engine import Simulator
+from repro.sim.monitor import TallyStat
+from repro.sim.rng import RandomStreams
+from repro.traces.model import Trace
+
+
+@dataclass
+class DiskReport:
+    """Per-disk measurement over the run's measurement window."""
+
+    name: str
+    energy_j: float
+    transitions: int
+    spinups: int
+    spindowns: int
+    requests_served: int
+    time_in_state_s: Dict[str, float]
+
+
+@dataclass
+class NodeReport:
+    """Per-storage-node energy/activity over the measurement window."""
+
+    name: str
+    base_energy_j: float
+    disk_energy_j: float
+    transitions: int
+    buffer_hits: int
+    data_disk_hits: int
+    writes_buffered: int
+    writes_direct: int
+    writes_destaged: int
+    disks: List[DiskReport] = field(default_factory=list)
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.base_energy_j + self.disk_energy_j
+
+
+@dataclass
+class RunResult:
+    """Everything measured from one EEVFS run.
+
+    ``energy_j`` covers the *measurement window* -- trace start (epoch) to
+    completion, matching the paper's methodology of metering the storage
+    nodes while "running the experiments".  ``energy_with_setup_j``
+    additionally charges the setup phase (placement + prefetch copies),
+    i.e. the prefetch investment PF makes before the window opens.
+    """
+
+    config: EEVFSConfig
+    #: Simulation time when trace replay began / ended.
+    epoch_s: float
+    end_s: float
+    #: Storage-node energy over [epoch, end] (+ server if configured).
+    energy_j: float
+    #: Storage-node energy over [0, end].
+    energy_with_setup_j: float
+    transitions: int
+    response_times: TallyStat
+    nodes: List[NodeReport]
+    buffer_hits: int
+    data_disk_hits: int
+    writes_buffered: int
+    writes_direct: int
+    writes_destaged: int
+    prefetch_files_copied: int
+    prefetch_bytes_copied: int
+    server_energy_j: float
+    #: Requests answered with RequestFailed (disk failures injected).
+    requests_failed: int = 0
+    #: Mean response-time decomposition over successful reads
+    #: (disk_s / node_other_s / network_server_s TallyStats).
+    latency_components: Dict[str, TallyStat] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        """Length of the measurement window."""
+        return self.end_s - self.epoch_s
+
+    @property
+    def requests_total(self) -> int:
+        return self.response_times.count
+
+    @property
+    def buffer_hit_rate(self) -> float:
+        served = self.buffer_hits + self.data_disk_hits
+        return self.buffer_hits / served if served else 0.0
+
+    @property
+    def mean_response_s(self) -> float:
+        return self.response_times.mean
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dict for tables/JSON."""
+        return {
+            "prefetch": self.config.prefetch_enabled,
+            "energy_j": self.energy_j,
+            "transitions": self.transitions,
+            "mean_response_s": self.mean_response_s,
+            "buffer_hit_rate": self.buffer_hit_rate,
+            "duration_s": self.duration_s,
+            "requests": self.requests_total,
+        }
+
+
+class EEVFSCluster:
+    """A fully wired EEVFS deployment inside one simulator."""
+
+    def __init__(
+        self,
+        cluster: Optional[ClusterSpec] = None,
+        config: Optional[EEVFSConfig] = None,
+        seed: int = 0,
+        record_history: bool = False,
+        node_class: type = StorageNode,
+    ) -> None:
+        self.node_class = node_class
+        self.cluster = cluster if cluster is not None else default_cluster()
+        self.config = config if config is not None else EEVFSConfig()
+        self.seed = seed
+        self.streams = RandomStreams(seed=seed)
+        self.sim = Simulator()
+        self.fabric = Fabric(
+            self.sim,
+            latency_s=self.cluster.fabric_latency_s,
+            connect_s=self.cluster.connect_s,
+        )
+        node_names = [n.name for n in self.cluster.storage_nodes]
+        self.server = StorageServer(
+            self.sim,
+            self.fabric,
+            node_names=node_names,
+            config=self.config,
+            nic_bps=self.cluster.server_nic_bps,
+            node_disk_counts={
+                n.name: n.n_data_disks for n in self.cluster.storage_nodes
+            },
+            node_weights={
+                n.name: n.nic_bps for n in self.cluster.storage_nodes
+            },
+        )
+        self.nodes: List[StorageNode] = [
+            node_class(
+                self.sim,
+                self.fabric,
+                spec=node_spec,
+                config=self.config,
+                server_name=self.server.name,
+                spinup_jitter=self.cluster.spinup_jitter,
+                rng=self.streams.stream(f"spinup:{node_spec.name}"),
+                record_history=record_history,
+            )
+            for node_spec in self.cluster.storage_nodes
+        ]
+        self.client = ClientDriver(
+            self.sim,
+            self.fabric,
+            nic_bps=self.cluster.client_nic_bps,
+            server_name=self.server.name,
+            max_outstanding=self.cluster.client_max_outstanding,
+        )
+
+    def run(
+        self,
+        trace: Trace,
+        timeout_s: float = 1e7,
+        replay_mode: str = "paced",
+        history: Optional[Trace] = None,
+    ) -> RunResult:
+        """Execute setup + replay and return the measured result.
+
+        ``replay_mode`` selects the client discipline (see
+        :meth:`ClientDriver.replay`); ``history`` optionally supplies a
+        different trace for the popularity log (stale-popularity studies).
+        """
+        setup = self.server.setup(trace, history=history)
+        self.sim.run(until=setup)
+        epoch = self.sim.now
+
+        # Snapshot energy at the start of the measurement window.
+        disk_energy_at_epoch = {
+            disk.name: disk.energy_j() for node in self.nodes for disk in node.all_disks
+        }
+        server_energy_at_epoch = self._server_energy_j()
+
+        replay = self.client.replay(trace, epoch_s=epoch, mode=replay_mode)
+        finished = self.sim.run(until=replay)
+        if finished is None and self.client.outstanding:
+            raise RuntimeError(
+                f"run stalled with {self.client.outstanding} outstanding requests"
+            )
+        end = self.sim.now
+        if end - epoch > timeout_s:  # pragma: no cover - guard rail
+            raise RuntimeError(f"run exceeded timeout ({end - epoch:.0f}s simulated)")
+
+        for node in self.nodes:
+            node.finalize()
+
+        node_reports: List[NodeReport] = []
+        for node in self.nodes:
+            disks = []
+            for disk in node.all_disks:
+                window_energy = disk.energy_j() - disk_energy_at_epoch[disk.name]
+                disks.append(
+                    DiskReport(
+                        name=disk.name,
+                        energy_j=window_energy,
+                        transitions=disk.transition_count,
+                        spinups=disk.meter.spinup_count,
+                        spindowns=disk.meter.spindown_count,
+                        requests_served=disk.requests_served,
+                        time_in_state_s={
+                            state.value: t
+                            for state, t in disk.meter.time_in_state.items()
+                        },
+                    )
+                )
+            node_reports.append(
+                NodeReport(
+                    name=node.spec.name,
+                    base_energy_j=node.spec.base_power_w * (end - epoch),
+                    disk_energy_j=sum(d.energy_j for d in disks),
+                    transitions=node.transition_count(),
+                    buffer_hits=node.buffer_hits,
+                    data_disk_hits=node.data_disk_hits,
+                    writes_buffered=node.writes_buffered,
+                    writes_direct=node.writes_direct,
+                    writes_destaged=node.writes_destaged,
+                    disks=disks,
+                )
+            )
+
+        server_energy = self._server_energy_j() - server_energy_at_epoch
+        energy = sum(r.total_energy_j for r in node_reports)
+        energy_with_setup = sum(
+            node.spec.base_power_w * end + node.disk_energy_j() for node in self.nodes
+        )
+        if self.config.account_server_energy:
+            energy += server_energy
+            energy_with_setup += self._server_energy_j()
+
+        return RunResult(
+            config=self.config,
+            epoch_s=epoch,
+            end_s=end,
+            energy_j=energy,
+            energy_with_setup_j=energy_with_setup,
+            transitions=sum(r.transitions for r in node_reports),
+            response_times=self.client.response_times,
+            nodes=node_reports,
+            buffer_hits=sum(n.buffer_hits for n in self.nodes),
+            data_disk_hits=sum(n.data_disk_hits for n in self.nodes),
+            writes_buffered=sum(n.writes_buffered for n in self.nodes),
+            writes_direct=sum(n.writes_direct for n in self.nodes),
+            writes_destaged=sum(n.writes_destaged for n in self.nodes),
+            prefetch_files_copied=sum(
+                n.prefetch_stats.files_copied for n in self.nodes
+            ),
+            prefetch_bytes_copied=sum(
+                n.prefetch_stats.bytes_copied for n in self.nodes
+            ),
+            server_energy_j=server_energy,
+            requests_failed=len(self.client.failures),
+            latency_components=self.client.latency_components,
+        )
+
+    def _server_energy_j(self) -> float:
+        """Whole-server energy so far (base power only; its disk serves
+        metadata, which we charge at idle as part of base power)."""
+        return self.cluster.server_base_power_w * self.sim.now
+
+
+def run_eevfs(
+    trace: Trace,
+    config: Optional[EEVFSConfig] = None,
+    cluster: Optional[ClusterSpec] = None,
+    seed: int = 0,
+    replay_mode: str = "paced",
+) -> RunResult:
+    """One-call helper: build a cluster, run *trace*, return the result."""
+    return EEVFSCluster(cluster=cluster, config=config, seed=seed).run(
+        trace, replay_mode=replay_mode
+    )

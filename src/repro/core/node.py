@@ -1,0 +1,516 @@
+"""The storage node (§III-A/B/C, §IV-B/C/D).
+
+A storage node owns one buffer disk (the OS/log disk) and N data disks.
+It handles four message types:
+
+* :class:`CreateFile` -- round-robin local placement (§III-B),
+* :class:`PrefetchCommand` -- copy popular files data disk -> buffer disk,
+* :class:`AccessHints` -- install the predicted access pattern into the
+  power manager (§IV-C),
+* :class:`ForwardedRequest` -- serve a client: buffer disk if the file is
+  prefetched (or its write is staged), the owning data disk otherwise,
+  then ship the data straight to the client (Fig. 2 step 6).
+
+Power management: every request entering the node triggers a sleep
+evaluation across all local data disks ("we sleep a disk as a particular
+request enters the storage client node", §VI-A); completions re-evaluate
+the draining disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as replace_dataclass
+from typing import List, Optional
+
+from repro.core.config import EEVFSConfig, NodeSpec
+from repro.core.metadata import NodeMetadata
+from repro.core.power import PowerManager
+from repro.core.prefetch import PrefetchStats
+from repro.core.protocol import (
+    AccessHints,
+    CreateFile,
+    FileData,
+    ForwardedRequest,
+    PrefetchCommand,
+    PrefetchComplete,
+    RequestFailed,
+    WriteAck,
+)
+from repro.core.writebuffer import WriteBuffer
+from repro.disk.drive import (
+    DiskFailureError,
+    PRIORITY_BACKGROUND,
+    PRIORITY_PREFETCH,
+    RequestKind,
+    SimDisk,
+)
+from repro.net.fabric import Fabric
+from repro.sim.engine import Simulator
+from repro.traces.model import RequestOp
+
+
+class StorageNode:
+    """One storage node process and its disk array."""
+
+    #: What a data disk's idle timer does on expiry; the DRPM baseline
+    #: overrides this to "low_speed".
+    DISK_IDLE_ACTION = "standby"
+    #: Two-stage DRPM: further idle seconds at low speed before standby
+    #: (None = single-stage behaviour).
+    DISK_SECOND_STAGE_S: Optional[float] = None
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        spec: NodeSpec,
+        config: EEVFSConfig,
+        server_name: str = "server",
+        spinup_jitter: float = 0.0,
+        rng=None,
+        record_history: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.spec = spec
+        self.config = config
+        self.server_name = server_name
+        self.endpoint = fabric.add_endpoint(spec.name, spec.nic_bps)
+
+        power_managed = config.power_management_enabled and (
+            config.prefetch_enabled or config.power_manage_without_prefetch
+        )
+        # The idle-window timer (§III-C) is always armed on power-managed
+        # data disks; application hints add predictive sleeps and
+        # wake-aheads on top of it (§IV-C: EEVFS "can operate without the
+        # application hints ... relying solely on the idle window timers").
+        timer = config.idle_threshold_s if power_managed else None
+        self.buffer_disk = SimDisk(
+            sim,
+            spec.buffer_spec,
+            name=f"{spec.name}/buffer",
+            record_history=record_history,
+        )
+        self.data_disks: List[SimDisk] = [
+            SimDisk(
+                sim,
+                spec.disk_spec,
+                name=f"{spec.name}/data{i}",
+                auto_sleep_after=timer,
+                idle_action=self.DISK_IDLE_ACTION,
+                second_stage_after=self.DISK_SECOND_STAGE_S,
+                spinup_jitter=spinup_jitter,
+                rng=(None if rng is None or spinup_jitter == 0 else rng),
+                record_history=record_history,
+            )
+            for i in range(spec.n_data_disks)
+        ]
+        self.metadata = NodeMetadata(
+            n_data_disks=spec.n_data_disks,
+            buffer_capacity_bytes=config.buffer_capacity_bytes,
+            stripe_width=min(config.stripe_width, spec.n_data_disks),
+        )
+        self.power = PowerManager(
+            sim,
+            self.data_disks,
+            idle_threshold_s=config.idle_threshold_s,
+            wake_ahead=config.wake_ahead,
+            predictor=config.window_predictor,
+        )
+        self._hints_power_managed = power_managed and config.use_hints
+        self.write_buffer = WriteBuffer(capacity_bytes=config.buffer_capacity_bytes)
+        self.prefetch_stats = PrefetchStats()
+        #: The node's hinted request stream as [(abs_time, file_id)],
+        #: kept for pattern rebuilds after dynamic re-prefetches.
+        self._hint_stream: Optional[List[tuple]] = None
+        self.reprefetch_rounds = 0
+        self.files_evicted = 0
+
+        # Request-plane counters (the RunResult raw material).
+        self.buffer_hits = 0
+        self.data_disk_hits = 0
+        self.writes_buffered = 0
+        self.writes_direct = 0
+        self.writes_destaged = 0
+        self.bytes_destaged = 0
+        self.requests_served = 0
+        self.requests_failed = 0
+
+        self._main = sim.process(self._main_loop())
+        self._destager = (
+            sim.process(self._destage_loop())
+            if (config.write_buffering and config.destage_enabled)
+            else None
+        )
+
+    # -- energy accounting ------------------------------------------------------------
+
+    @property
+    def all_disks(self) -> List[SimDisk]:
+        return [self.buffer_disk, *self.data_disks]
+
+    def disk_energy_j(self) -> float:
+        """Joules consumed by the node's disks so far."""
+        return sum(d.energy_j() for d in self.all_disks)
+
+    def base_energy_j(self) -> float:
+        """Joules consumed by everything-but-disks so far."""
+        return self.spec.base_power_w * self.sim.now
+
+    def energy_j(self) -> float:
+        """Whole-node joules so far (the paper's measured quantity)."""
+        return self.base_energy_j() + self.disk_energy_j()
+
+    def transition_count(self) -> int:
+        """Counted power-state transitions across the node's disks."""
+        return sum(d.transition_count for d in self.all_disks)
+
+    def finalize(self) -> None:
+        """Close all disk energy accounts at the current time."""
+        for disk in self.all_disks:
+            disk.finalize()
+
+    # -- the node process ----------------------------------------------------------------
+
+    def _main_loop(self):
+        while True:
+            message = yield self.endpoint.receive()
+            payload = message.payload
+            if isinstance(payload, CreateFile):
+                self.metadata.create(
+                    payload.file_id, payload.size_bytes, disk=payload.target_disk
+                )
+            elif isinstance(payload, PrefetchCommand):
+                # Blocking on the copy loop is intentional: the server
+                # does not release the workload until every node acks.
+                yield self.sim.process(self._do_prefetch(payload))
+            elif isinstance(payload, AccessHints):
+                self._install_hints(payload)
+            elif isinstance(payload, ForwardedRequest):
+                # Serve concurrently; different disks must overlap.
+                self.sim.process(self._serve(payload))
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"storage node cannot handle {payload!r}")
+
+    # -- prefetch (Fig. 2 step 3) -----------------------------------------------------------
+
+    def _do_prefetch(self, command: PrefetchCommand):
+        started = self.sim.now
+        if command.replace:
+            # Dynamic re-prefetch: drop copies that fell out of the hot
+            # set (metadata-only -- log-disk space is reclaimed lazily).
+            wanted = set(command.file_ids)
+            for file_id in self.metadata.prefetched_files():
+                if file_id not in wanted:
+                    self.metadata.unmark_prefetched(file_id)
+                    self.files_evicted += 1
+            self.reprefetch_rounds += 1
+        self.prefetch_stats.files_requested += len(command.file_ids)
+        for file_id in command.file_ids:
+            if not self.metadata.can_prefetch(file_id):
+                self.prefetch_stats.skipped_capacity += 1
+                continue
+            size = self.metadata.size_of(file_id)
+            stripe = self.metadata.stripe_size_bytes(file_id)
+            reads = [
+                self.data_disks[disk].submit(
+                    stripe,
+                    kind=RequestKind.READ,
+                    tag=("prefetch", file_id),
+                    priority=PRIORITY_PREFETCH,
+                )
+                for disk in self.metadata.stripe_disks(file_id)
+            ]
+            yield self.sim.all_of([r.done for r in reads])
+            write = self.buffer_disk.submit(
+                size,
+                kind=RequestKind.WRITE,
+                sequential=True,
+                tag=("prefetch", file_id),
+                priority=PRIORITY_PREFETCH,
+            )
+            yield write.done
+            self.metadata.mark_prefetched(file_id)
+            self.prefetch_stats.files_copied += 1
+            self.prefetch_stats.bytes_copied += size
+        self.prefetch_stats.duration_s = self.sim.now - started
+        if command.replace:
+            # The buffer's contents changed under the power manager:
+            # rebuild the per-disk patterns from the remaining future.
+            self._rebuild_patterns()
+        if command.ack:
+            yield self.fabric.send(
+                self.spec.name,
+                self.server_name,
+                PrefetchComplete(
+                    node=self.spec.name,
+                    files_copied=self.prefetch_stats.files_copied,
+                    bytes_copied=self.prefetch_stats.bytes_copied,
+                ),
+            )
+
+    # -- destaging (energy-aware write-back) --------------------------------------------------
+
+    def _destage_loop(self):
+        """Write dirty buffer data back to data disks, energy-aware.
+
+        Opportunistic: a dirty file destages when every disk of its
+        stripe is already awake (no wake-up charged to write-back).
+        Forced: past the high-water mark the oldest dirty data destages
+        regardless, waking disks if needed -- bounded staleness beats an
+        overflowing buffer.
+        """
+        interval = self.config.destage_check_interval_s
+        max_age = self.config.destage_max_dirty_age_s
+        while True:
+            yield self.sim.timeout(interval)
+            over_highwater = self._write_buffer_over_highwater()
+            aged = set(self.write_buffer.aged_files(self.sim.now, max_age))
+            for file_id, _size in self.write_buffer.destage_plan():
+                if file_id not in self.metadata:
+                    continue
+                disks = [self.data_disks[i] for i in self.metadata.stripe_disks(file_id)]
+                awake = all(d.state.can_serve and d.inflight == 0 for d in disks)
+                if awake or over_highwater or file_id in aged:
+                    try:
+                        yield self.sim.process(self._destage_one(file_id))
+                    except DiskFailureError:
+                        # Target disk died; the data stays (safely) dirty
+                        # on the buffer disk.
+                        continue
+                    over_highwater = self._write_buffer_over_highwater()
+
+    def _write_buffer_over_highwater(self) -> bool:
+        capacity = self.write_buffer.capacity_bytes
+        if capacity is None or capacity == 0:
+            return False
+        fraction = self.write_buffer.dirty_bytes / capacity
+        return fraction >= self.config.destage_highwater_fraction
+
+    def _destage_one(self, file_id: int):
+        """Read staged data from the buffer log, write to the data disks.
+
+        The dirty entry is removed only once the data-disk writes have
+        completed, so concurrent reads keep hitting the (still current)
+        buffer copy throughout the write-back.
+        """
+        size = dict(self.write_buffer.destage_plan())[file_id]
+        read = self.buffer_disk.submit(
+            size,
+            kind=RequestKind.READ,
+            sequential=True,
+            tag=("destage", file_id),
+            priority=PRIORITY_BACKGROUND,
+        )
+        yield read.done
+        stripe = -(-size // self.metadata.stripe_width)
+        targets = self.metadata.stripe_disks(file_id)
+        writes = [
+            self.data_disks[i].submit(
+                stripe,
+                kind=RequestKind.WRITE,
+                tag=("destage", file_id),
+                priority=PRIORITY_BACKGROUND,
+            )
+            for i in targets
+        ]
+        yield self.sim.all_of([w.done for w in writes])
+        # A fresh write may have re-dirtied the file mid-destage; in that
+        # case keep the newer staged data.
+        if dict(self.write_buffer.destage_plan()).get(file_id) == size:
+            self.write_buffer.destage(file_id)
+        self.writes_destaged += 1
+        self.bytes_destaged += size
+        for i in targets:
+            self.power.evaluate(i)
+
+    # -- hints (Fig. 2 step 4) ---------------------------------------------------------------
+
+    def _install_hints(self, hints: AccessHints) -> None:
+        """Build per-disk future access lists and arm the power manager.
+
+        The node first reconstructs its *own* request stream (every hinted
+        access to any of its files, in time order).  Accesses to
+        prefetched files are then *excluded* from the per-disk patterns --
+        the buffer disk will serve them, which is precisely how
+        prefetching manufactures longer data-disk idle windows (§IV-B) --
+        but they still occupy positions in the stream, which is what the
+        sequence predictor counts.
+        """
+        if not self._hints_power_managed:
+            return
+        stream: List[tuple] = []
+        for file_id, times in hints.arrivals.items():
+            if file_id not in self.metadata:
+                continue
+            stream.extend((hints.epoch_s + t, file_id) for t in times)
+        stream.sort()
+        self._hint_stream = stream
+
+        per_disk_times, per_disk_seqs = self._patterns_from_stream(since_s=None)
+        if len(stream) >= 2:
+            hint_gap = (stream[-1][0] - stream[0][0]) / (len(stream) - 1)
+        else:
+            hint_gap = None
+        self.power.set_hints(per_disk_times, per_disk_seqs, hint_gap_s=hint_gap)
+
+    def _patterns_from_stream(self, since_s: Optional[float]):
+        """Per-disk (times, sequence numbers) for non-buffer-served
+        accesses in the hinted stream, optionally only those at or after
+        *since_s*.  Sequence numbers are absolute stream positions, so a
+        rebuild stays aligned with the power manager's arrival counter."""
+        assert self._hint_stream is not None
+        per_disk_times: List[List[float]] = [[] for _ in self.data_disks]
+        per_disk_seqs: List[List[int]] = [[] for _ in self.data_disks]
+        for seq, (abs_t, file_id) in enumerate(self._hint_stream):
+            if since_s is not None and abs_t < since_s:
+                continue
+            if self.metadata.is_prefetched(file_id):
+                continue
+            for disk in self.metadata.stripe_disks(file_id):
+                per_disk_times[disk].append(abs_t)
+                per_disk_seqs[disk].append(seq)
+        return per_disk_times, per_disk_seqs
+
+    def _rebuild_patterns(self) -> None:
+        """Refresh the power manager after a buffer-content change."""
+        if not self._hints_power_managed or self._hint_stream is None:
+            return
+        per_disk_times, per_disk_seqs = self._patterns_from_stream(
+            since_s=self.sim.now
+        )
+        self.power.set_hints(per_disk_times, per_disk_seqs, reset_clock=False)
+
+    # -- request service (Fig. 2 steps 5-6) -------------------------------------------------------
+
+    def _serve(self, forwarded: ForwardedRequest):
+        request = forwarded.request
+        if self.config.node_overhead_s > 0:
+            yield self.sim.timeout(self.config.node_overhead_s)
+        # Advance the node's request-stream clock (sequence counter +
+        # inter-arrival EWMA) before any routing decision.
+        self.power.note_node_arrival()
+        entered_at = self.sim.now
+
+        try:
+            reply, reply_size, disk_index = yield from self._serve_io(request)
+            if isinstance(reply, FileData):
+                reply = replace_dataclass(
+                    reply,
+                    node_time_s=self.sim.now - entered_at + self.config.node_overhead_s,
+                )
+        except DiskFailureError as failure:
+            self.requests_failed += 1
+            reply = RequestFailed(
+                request_id=request.request_id,
+                file_id=request.file_id,
+                reason=str(failure),
+            )
+            reply_size = None
+            disk_index = None
+        self.requests_served += 1
+        # A drained disk is a fresh sleep opportunity.
+        if disk_index is not None:
+            for target in self.metadata.stripe_disks(request.file_id):
+                self.power.evaluate(target)
+        if reply_size is None:
+            yield self.fabric.send(self.spec.name, request.client, reply)
+        else:
+            yield self.fabric.send(
+                self.spec.name, request.client, reply, size_bytes=reply_size
+            )
+
+    def _serve_io(self, request):
+        """The I/O half of :meth:`_serve`; raises DiskFailureError when a
+        needed drive is dead.  Returns (reply, reply_size, disk_index)."""
+        file_id = request.file_id
+        size = self.metadata.size_of(file_id)
+        if request.op is RequestOp.WRITE:
+            served_by = yield from self._serve_write(file_id, size)
+            reply: object = WriteAck(
+                request_id=request.request_id, file_id=file_id, served_by=served_by
+            )
+            return reply, None, None  # control-sized ack
+        else:
+            disk_index, served_by = self._route_read(file_id)
+            targets = [] if disk_index is None else self.metadata.stripe_disks(file_id)
+            # Consume the prediction entries and probe sleep opportunities
+            # across all disks *at request entry* (§VI-A).
+            for target in targets:
+                self.power.note_arrival(target)
+            self.power.evaluate_all(exclude=targets or None)
+            disk_started = self.sim.now
+            if disk_index is None:
+                io = self.buffer_disk.submit(
+                    size, kind=RequestKind.READ, tag=("read", file_id)
+                )
+                yield io.done
+            else:
+                # One stripe read per disk, in parallel; the request
+                # completes when the slowest stripe lands.
+                stripe = self.metadata.stripe_size_bytes(file_id)
+                ios = [
+                    self.data_disks[target].submit(
+                        stripe, kind=RequestKind.READ, tag=("read", file_id)
+                    )
+                    for target in targets
+                ]
+                yield self.sim.all_of([io.done for io in ios])
+            self._after_read(file_id, disk_index)
+            reply = FileData(
+                request_id=request.request_id,
+                file_id=file_id,
+                size_bytes=size,
+                served_by=served_by,
+                disk_time_s=self.sim.now - disk_started,
+            )
+            return reply, size, disk_index
+
+    def _route_read(self, file_id: int):
+        """Pick the serving medium for a read: buffer copy, staged write,
+        or the owning data disk.  (Overridden by caching baselines.)"""
+        if self.metadata.is_prefetched(file_id) or file_id in self.write_buffer.dirty_files:
+            self.buffer_hits += 1
+            return None, "buffer"
+        disk_index = self.metadata.disk_of(file_id)
+        self.data_disk_hits += 1
+        return disk_index, f"data{disk_index}"
+
+    def _after_read(self, file_id: int, disk_index: Optional[int]) -> None:
+        """Hook invoked after a read completes (before the reply is sent).
+
+        The EEVFS node does nothing here; on-demand caching baselines
+        (MAID) use it to admit the just-read file into their cache.
+        """
+
+    def _serve_write(self, file_id: int, size: int):
+        """Write path: stage to the buffer disk when allowed and it fits;
+        otherwise write through to the data disk (waking it if needed)."""
+        use_buffer = (
+            self.config.write_buffering
+            and self.config.prefetch_enabled
+            and self.write_buffer.can_stage(size)
+        )
+        if use_buffer:
+            self.write_buffer.stage(file_id, size, time_s=self.sim.now)
+            io = self.buffer_disk.submit(
+                size, kind=RequestKind.WRITE, sequential=True, tag=("write", file_id)
+            )
+            yield io.done
+            self.writes_buffered += 1
+            return "buffer"
+        targets = self.metadata.stripe_disks(file_id)
+        stripe = self.metadata.stripe_size_bytes(file_id)
+        for target in targets:
+            self.power.note_arrival(target)
+        ios = [
+            self.data_disks[target].submit(
+                stripe, kind=RequestKind.WRITE, tag=("write", file_id)
+            )
+            for target in targets
+        ]
+        yield self.sim.all_of([io.done for io in ios])
+        self.writes_direct += 1
+        for target in targets:
+            self.power.evaluate(target)
+        return f"data{targets[0]}"

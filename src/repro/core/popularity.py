@@ -1,0 +1,67 @@
+"""Popularity estimation from the access log (§IV-A, step 2).
+
+The storage server "gets popularity information from a log of file access
+patterns ... and bases the file popularity on information gathered from
+traces".  :class:`PopularityEstimator` wraps an :class:`~repro.traces.logio.AccessLog`
+and produces the two orderings the system needs:
+
+* the full descending-popularity ranking used for placement (§III-B), and
+* the top-K selection used for prefetching (§IV-B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.traces.logio import AccessLog
+from repro.traces.model import Trace
+
+
+class PopularityEstimator:
+    """Derives popularity orderings from an access log."""
+
+    def __init__(self, log: Optional[AccessLog] = None) -> None:
+        self.log = log if log is not None else AccessLog()
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "PopularityEstimator":
+        """Bootstrap from a historical trace, as the prototype does."""
+        estimator = cls()
+        estimator.log.record_trace(trace)
+        return estimator
+
+    def record(self, time_s: float, file_id: int) -> None:
+        """Append one observed access (online operation)."""
+        self.log.append(time_s, file_id)
+
+    def counts(self) -> Dict[int, int]:
+        """Access count per file (observed files only)."""
+        return dict(self.log.counts())
+
+    def ranking(self, catalog: Optional[Sequence[int]] = None) -> List[int]:
+        """Descending-popularity file ids.
+
+        With *catalog* given, files never observed in the log are appended
+        after all observed files (ascending id), so the ranking is a
+        total order over the file system -- required by placement, which
+        must place *every* file.
+        """
+        ranked = self.log.popularity_ranking()
+        if catalog is None:
+            return ranked
+        seen = set(ranked)
+        tail = sorted(fid for fid in catalog if fid not in seen)
+        unknown = [fid for fid in ranked if fid not in set(catalog)]
+        if unknown:
+            raise ValueError(f"log contains files outside the catalog: {unknown[:5]}")
+        return ranked + tail
+
+    def top_k(self, k: int, catalog: Optional[Sequence[int]] = None) -> List[int]:
+        """The K most popular files (the prefetch candidate list)."""
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k!r}")
+        return self.ranking(catalog)[:k]
+
+    def access_times(self, file_id: int) -> List[float]:
+        """All logged access times for a file (feeds the hint pipeline)."""
+        return self.log.accesses_for(file_id)

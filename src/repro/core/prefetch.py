@@ -1,0 +1,102 @@
+"""Energy-aware prefetch planning (§III-C, §IV-B; the PRE-BUD lineage).
+
+The prefetcher "tries to move popular data into a set of buffer disks
+without affecting the data layout of any of the data disks": it selects
+the K most popular files (from the access log), maps them to the storage
+nodes that own them, and each node copies its share from the data disks
+into its buffer disk -- copies only, never migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.metadata import NodeMetadata
+
+
+@dataclass(frozen=True)
+class PrefetchPlan:
+    """Which files each storage node should copy into its buffer disk.
+
+    Per-node lists preserve descending popularity: if buffer capacity
+    runs out, the hottest files were copied first.
+    """
+
+    per_node: Mapping[str, Tuple[int, ...]]
+    requested_k: int
+
+    @property
+    def total_files(self) -> int:
+        return sum(len(files) for files in self.per_node.values())
+
+    def files_for(self, node: str) -> Tuple[int, ...]:
+        """The prefetch list for one node (empty if none)."""
+        return self.per_node.get(node, ())
+
+
+def plan_prefetch(
+    ranking: Sequence[int],
+    k: int,
+    placement: Mapping[int, str],
+) -> PrefetchPlan:
+    """Split the global top-K prefetch set by owning storage node.
+
+    Parameters
+    ----------
+    ranking:
+        File ids in descending popularity (total order over the catalog).
+    k:
+        Number of files to prefetch (Table II: 10..100 of 1000).
+    placement:
+        file -> node map from :func:`repro.core.placement.place_round_robin`.
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k!r}")
+    per_node: Dict[str, List[int]] = {}
+    for file_id in ranking[:k]:
+        node = placement.get(file_id)
+        if node is None:
+            raise KeyError(f"file {file_id} missing from placement")
+        per_node.setdefault(node, []).append(file_id)
+    return PrefetchPlan(
+        per_node={node: tuple(files) for node, files in per_node.items()},
+        requested_k=k,
+    )
+
+
+def admit_prefetch_files(
+    candidates: Sequence[int],
+    metadata: NodeMetadata,
+) -> List[int]:
+    """Filter a node's prefetch candidates by buffer capacity.
+
+    Applied node-side in candidate (popularity) order; a file that does
+    not fit is skipped, later smaller files may still be admitted --
+    greedy, like the prototype's best-effort copy loop.
+    """
+    admitted: List[int] = []
+    for file_id in candidates:
+        if metadata.can_prefetch(file_id):
+            admitted.append(file_id)
+            metadata.mark_prefetched(file_id)
+    return admitted
+
+
+@dataclass
+class PrefetchStats:
+    """Measured outcome of the prefetch phase (for RunResult)."""
+
+    files_requested: int = 0
+    files_copied: int = 0
+    bytes_copied: int = 0
+    duration_s: float = 0.0
+    skipped_capacity: int = 0
+
+    def merge(self, other: "PrefetchStats") -> None:
+        """Accumulate a node's stats into a cluster-wide total."""
+        self.files_requested += other.files_requested
+        self.files_copied += other.files_copied
+        self.bytes_copied += other.bytes_copied
+        self.duration_s = max(self.duration_s, other.duration_s)
+        self.skipped_capacity += other.skipped_capacity

@@ -1,0 +1,250 @@
+"""The storage server (§III-A, §IV-A).
+
+The server is deliberately thin -- "the storage server only has to manage
+metadata such as data location and file size" -- and acts "primarily ...
+as a load balancer and access point for all of the storage nodes".  It:
+
+1. connects to every storage node (Fig. 2 step 1),
+2. derives file popularity from the access log (step 2),
+3. places files on nodes round-robin by popularity and instructs
+   prefetching (step 3),
+4. forwards application hints (step 4),
+5. forwards client requests to the owning node (step 5); data flows
+   node -> client directly (step 6), never through the server.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.core.config import EEVFSConfig
+from repro.core.metadata import ServerMetadata
+from repro.core.placement import (
+    concentrate_disk_assignment,
+    creation_order,
+    place_concentrate,
+    place_round_robin,
+    place_weighted,
+)
+from repro.core.popularity import PopularityEstimator
+from repro.core.prefetch import PrefetchPlan, plan_prefetch
+from repro.core.protocol import (
+    AccessHints,
+    CreateFile,
+    FileRequest,
+    ForwardedRequest,
+    PrefetchCommand,
+    PrefetchComplete,
+)
+from repro.net.fabric import Fabric
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+from repro.traces.logio import AccessLog
+from repro.traces.model import Trace
+
+SERVER_NAME = "server"
+
+
+class StorageServer:
+    """The metadata/placement/forwarding hub of the cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        node_names: List[str],
+        config: EEVFSConfig,
+        nic_bps: float,
+        name: str = SERVER_NAME,
+        node_disk_counts: Optional[Dict[str, int]] = None,
+        node_weights: Optional[Dict[str, float]] = None,
+    ) -> None:
+        if not node_names:
+            raise ValueError("server needs at least one storage node")
+        self.sim = sim
+        self.fabric = fabric
+        self.name = name
+        self.node_names = list(node_names)
+        self.config = config
+        #: Data-disk count per node -- only consulted by centralised
+        #: placement policies (PDC); EEVFS proper never uses it (§IV-D).
+        self.node_disk_counts = dict(node_disk_counts or {})
+        #: Relative node capability (NIC rate) for weighted placement.
+        self.node_weights = dict(node_weights or {})
+        self.endpoint = fabric.add_endpoint(name, nic_bps)
+        self.metadata = ServerMetadata()
+        self.estimator: Optional[PopularityEstimator] = None
+        self.placement: Dict[int, str] = {}
+        self.prefetch_plan: Optional[PrefetchPlan] = None
+        self.requests_forwarded = 0
+        #: Live request log (§IV: "an append-only log of requests to keep
+        #: track of file access patterns") -- feeds dynamic re-prefetching.
+        self.online_log = AccessLog()
+        self.reprefetch_rounds = 0
+        self._catalog: List[int] = []
+        self._prefetch_acks_pending = 0
+        self._prefetch_all_acked: Optional[Event] = None
+        self._main = sim.process(self._main_loop())
+
+    # -- setup (Fig. 2 steps 1-4) ---------------------------------------------------
+
+    def setup(self, trace: Trace, history: Optional[Trace] = None):
+        """Run initialisation; returns a process whose value is the epoch.
+
+        *history* is the trace the popularity log was gathered from; by
+        default the replay trace itself, which is what the prototype did
+        (§IV-A: "bases the file popularity on information gathered from
+        traces").  Passing a different history models stale popularity.
+
+        The epoch is the simulation time at which trace replay may begin
+        (all placement, prefetch copies and hints are in place).
+        """
+        return self.sim.process(self._setup(trace, history or trace))
+
+    def _setup(self, trace: Trace, history: Trace):
+        # Step 1: one thread + TCP connection per storage node.
+        for node in self.node_names:
+            yield self.fabric.connect(self.name, node)
+
+        # Step 2: popularity from the historical access log.
+        self.estimator = PopularityEstimator.from_trace(history)
+        catalog = [f.file_id for f in trace.files]
+        self._catalog = catalog
+        ranking = self.estimator.ranking(catalog)
+
+        # Step 3a: place files on nodes by popularity rank.
+        if self.config.placement_policy == "concentrate":
+            self.placement = place_concentrate(ranking, self.node_names)
+        elif self.config.placement_policy == "bandwidth_weighted":
+            weights = self.node_weights or {n: 1.0 for n in self.node_names}
+            self.placement = place_weighted(ranking, self.node_names, weights)
+        else:
+            self.placement = place_round_robin(ranking, self.node_names)
+        per_node_creates = creation_order(ranking, self.placement)
+        rank_of = {file_id: rank for rank, file_id in enumerate(ranking)}
+        for file_id in ranking:
+            node = self.placement[file_id]
+            size = trace.file(file_id).size_bytes
+            self.metadata.register(file_id, node, size)
+        # Issue creates most-popular-first so each node can round-robin
+        # its local disks by popularity (§III-B).
+        create_events = []
+        for node, files in per_node_creates.items():
+            for local_index, file_id in enumerate(files):
+                size = trace.file(file_id).size_bytes
+                target_disk = None
+                if self.config.placement_policy == "concentrate":
+                    n_disks = self.node_disk_counts.get(node)
+                    if n_disks:
+                        target_disk = concentrate_disk_assignment(
+                            local_index, len(files), n_disks
+                        )
+                create_events.append(
+                    self.fabric.send(
+                        self.name,
+                        node,
+                        CreateFile(
+                            file_id=file_id,
+                            size_bytes=size,
+                            popularity_rank=rank_of[file_id],
+                            target_disk=target_disk,
+                        ),
+                    )
+                )
+        yield self.sim.all_of(create_events)
+
+        # Step 3b: instruct prefetching.
+        if self.config.prefetch_enabled and self.config.prefetch_files > 0:
+            self.prefetch_plan = plan_prefetch(
+                ranking, self.config.prefetch_files, self.placement
+            )
+            commands = [
+                (node, self.prefetch_plan.files_for(node)) for node in self.node_names
+            ]
+            to_ack = [node for node, files in commands if files]
+            self._prefetch_acks_pending = len(to_ack)
+            self._prefetch_all_acked = self.sim.event()
+            for node, files in commands:
+                if files:
+                    yield self.fabric.send(
+                        self.name, node, PrefetchCommand(file_ids=tuple(files))
+                    )
+            if self._prefetch_acks_pending:
+                yield self._prefetch_all_acked
+
+        # Step 4: application hints -- per node, the future arrival times
+        # of every file it hosts.  Sent regardless of mode; nodes decide
+        # whether to act on them (config.use_hints).
+        epoch = self.sim.now
+        arrivals: Dict[str, Dict[int, List[float]]] = defaultdict(dict)
+        for request in trace.requests:
+            node = self.placement[request.file_id]
+            arrivals[node].setdefault(request.file_id, []).append(request.time_s)
+        hint_events = []
+        for node in self.node_names:
+            payload = AccessHints(
+                arrivals={
+                    fid: tuple(times) for fid, times in arrivals[node].items()
+                },
+                epoch_s=epoch,
+            )
+            hint_events.append(self.fabric.send(self.name, node, payload))
+        yield self.sim.all_of(hint_events)
+        if (
+            self.config.prefetch_enabled
+            and self.config.reprefetch_interval_s is not None
+        ):
+            self.sim.process(self._reprefetch_loop())
+        return self.sim.now
+
+    # -- dynamic re-prefetching (extension; PRE-BUD's "dynamically fetch") -------------
+
+    def _reprefetch_loop(self):
+        """Periodically retarget the buffer disks from the online log."""
+        interval = self.config.reprefetch_interval_s
+        window = self.config.popularity_window_s
+        while True:
+            yield self.sim.timeout(interval)
+            if len(self.online_log) == 0:
+                continue
+            since = None if window is None else self.sim.now - window
+            counts = self.online_log.counts(since=since)
+            observed = sorted(counts, key=lambda fid: (-counts[fid], fid))
+            seen = set(observed)
+            ranking = observed + [f for f in self._catalog if f not in seen]
+            plan = plan_prefetch(ranking, self.config.prefetch_files, self.placement)
+            self.reprefetch_rounds += 1
+            for node in self.node_names:
+                self.fabric.send(
+                    self.name,
+                    node,
+                    PrefetchCommand(
+                        file_ids=plan.files_for(node), replace=True, ack=False
+                    ),
+                )
+
+    # -- request plane (steps 5-6) -----------------------------------------------------
+
+    def _main_loop(self):
+        while True:
+            message = yield self.endpoint.receive()
+            payload = message.payload
+            if isinstance(payload, FileRequest):
+                # Lookup + forward; per-request CPU overhead serialises
+                # here, which is exactly the server-bottleneck concern
+                # §III-A raises (and simplifying the server mitigates).
+                if self.config.server_overhead_s > 0:
+                    yield self.sim.timeout(self.config.server_overhead_s)
+                self.online_log.append(self.sim.now, payload.file_id)
+                entry = self.metadata.lookup(payload.file_id)
+                self.fabric.send(
+                    self.name, entry.node, ForwardedRequest(request=payload)
+                )
+                self.requests_forwarded += 1
+            elif isinstance(payload, PrefetchComplete):
+                self._prefetch_acks_pending -= 1
+                if self._prefetch_acks_pending == 0 and self._prefetch_all_acked:
+                    self._prefetch_all_acked.succeed()
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"server cannot handle {payload!r}")

@@ -1,0 +1,44 @@
+"""Disk substrate: power states, drive specifications, service and energy.
+
+EEVFS saves energy by moving *data disks* into standby; everything it
+measures (joules, state transitions, response-time penalties) is a function
+of the disk model defined here:
+
+* :mod:`repro.disk.states` -- the power-state machine,
+* :mod:`repro.disk.specs` -- drive parameter sets (a catalog mirroring the
+  paper's Table I testbed drives),
+* :mod:`repro.disk.service` -- request service-time model
+  (seek + rotation + transfer),
+* :mod:`repro.disk.energy` -- energy metering and break-even analysis,
+* :mod:`repro.disk.drive` -- :class:`SimDisk`, the simulated drive process.
+"""
+
+from repro.disk.states import DiskState, LEGAL_TRANSITIONS, validate_transition
+from repro.disk.specs import (
+    DISK_CATALOG,
+    DiskSpec,
+    ATA_80GB_TYPE1,
+    ATA_80GB_TYPE2,
+    SATA_120GB_SERVER,
+)
+from repro.disk.service import ServiceTimeModel
+from repro.disk.energy import EnergyMeter, break_even_time, standby_power_savings
+from repro.disk.drive import DiskRequest, RequestKind, SimDisk
+
+__all__ = [
+    "ATA_80GB_TYPE1",
+    "ATA_80GB_TYPE2",
+    "DISK_CATALOG",
+    "DiskRequest",
+    "DiskSpec",
+    "DiskState",
+    "EnergyMeter",
+    "LEGAL_TRANSITIONS",
+    "RequestKind",
+    "SATA_120GB_SERVER",
+    "ServiceTimeModel",
+    "SimDisk",
+    "break_even_time",
+    "standby_power_savings",
+    "validate_transition",
+]

@@ -1,0 +1,441 @@
+"""The simulated drive: queue, state machine, and energy account.
+
+A :class:`SimDisk` is a process on the event engine.  Requests submitted
+with :meth:`SimDisk.submit` are served FIFO; if the disk is in standby a
+spin-up (costing :attr:`DiskSpec.spinup_s`, ~2 s for the testbed drives)
+precedes service -- this is the entire response-time penalty mechanism the
+paper analyses in §VI-C.
+
+Power-management entry points used by the EEVFS storage node:
+
+* :meth:`request_sleep` -- begin a spin-down if (and only if) the disk is
+  idle with nothing in flight; returns whether it did.
+* :meth:`wake` -- begin a spin-up (used by predictive wake-up so a disk is
+  active again before its next predicted access).
+* ``auto_sleep_after`` -- optional built-in idle timer (the fallback §IV-C
+  describes for operation without application hints).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.disk.energy import EnergyMeter
+from repro.disk.service import ServiceTimeModel
+from repro.disk.specs import DiskSpec
+from repro.disk.states import DiskState
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+from repro.sim.monitor import TallyStat
+from repro.sim.process import Interrupt
+from repro.sim.resources import PriorityStore, Store
+
+_request_ids = itertools.count()
+
+
+class DiskFailureError(RuntimeError):
+    """Raised through a request's ``done`` event when its drive fails."""
+
+    def __init__(self, disk_name: str) -> None:
+        super().__init__(f"disk {disk_name} has failed")
+        self.disk_name = disk_name
+
+
+class RequestKind(enum.Enum):
+    """I/O direction of a disk request."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+#: Request priorities (lower serves first): client-facing demand I/O
+#: beats background prefetch copies, which beat destage write-back.
+PRIORITY_DEMAND = 0
+PRIORITY_PREFETCH = 1
+PRIORITY_BACKGROUND = 2
+
+
+@dataclass
+class DiskRequest:
+    """One I/O request against a single drive."""
+
+    size_bytes: int
+    kind: RequestKind = RequestKind.READ
+    #: Sequential requests (log-disk appends) skip positioning overhead.
+    sequential: bool = False
+    #: Queue priority: lower serves first (see PRIORITY_* constants).
+    priority: int = PRIORITY_DEMAND
+    #: Opaque caller tag (file id, trace index, ...).
+    tag: object = None
+    issued_at: float = 0.0
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    #: Succeeds (with the request) when service completes.
+    done: Optional[Event] = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"negative request size: {self.size_bytes!r}")
+
+
+class SimDisk:
+    """A drive attached to the simulation.
+
+    Parameters
+    ----------
+    sim:
+        The simulator this drive lives in.
+    spec:
+        Physical drive parameters.
+    name:
+        Identifier used in reports (e.g. ``"node3/data1"``).
+    service_model:
+        Service-time model; defaults to a noise-free model over *spec*.
+    auto_sleep_after:
+        If set, an internal idle timer spins the disk down after this many
+        seconds of complete inactivity (the paper's *disk idle threshold*).
+    record_history:
+        Keep a full ``(time, state)`` trace for debugging/plots.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: DiskSpec,
+        name: str = "disk",
+        service_model: Optional[ServiceTimeModel] = None,
+        auto_sleep_after: Optional[float] = None,
+        idle_action: str = "standby",
+        second_stage_after: Optional[float] = None,
+        spinup_jitter: float = 0.0,
+        rng=None,
+        record_history: bool = False,
+    ) -> None:
+        if auto_sleep_after is not None and auto_sleep_after < 0:
+            raise ValueError(f"auto_sleep_after must be >= 0, got {auto_sleep_after!r}")
+        if idle_action not in ("standby", "low_speed"):
+            raise ValueError(f"unknown idle_action: {idle_action!r}")
+        if idle_action == "low_speed" and spec.low_speed is None:
+            raise ValueError(f"{name}: idle_action='low_speed' needs a multi-speed spec")
+        if second_stage_after is not None:
+            if idle_action != "low_speed":
+                raise ValueError("second_stage_after requires idle_action='low_speed'")
+            if second_stage_after < 0:
+                raise ValueError("second_stage_after must be >= 0")
+        if spinup_jitter < 0:
+            raise ValueError(f"spinup_jitter must be >= 0, got {spinup_jitter!r}")
+        if spinup_jitter > 0 and rng is None:
+            raise ValueError("spinup_jitter > 0 requires an rng")
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        self.service = service_model or ServiceTimeModel(spec)
+        #: Low-speed service model (multi-speed drives only).
+        self.service_low = (
+            ServiceTimeModel(
+                spec.with_overrides(
+                    bandwidth_bps=spec.low_speed.bandwidth_bps, low_speed=None
+                )
+            )
+            if spec.low_speed is not None
+            else None
+        )
+        self.auto_sleep_after = auto_sleep_after
+        #: What the idle watchdog does on expiry: full standby (the
+        #: paper) or a DRPM-style shift to low speed.
+        self.idle_action = idle_action
+        #: Two-stage hybrid: after this much further idleness at low
+        #: speed, the drive proceeds to standby (None = stay low).
+        self.second_stage_after = second_stage_after
+        #: Relative sd of actual spin-up duration around the nominal value
+        #: -- mechanical variability a predictive wake-up cannot see.
+        self.spinup_jitter = float(spinup_jitter)
+        self._rng = rng
+        self.meter = EnergyMeter(
+            spec,
+            start_time=sim.now,
+            initial_state=DiskState.IDLE,
+            record_history=record_history,
+        )
+        self.queue: Store = PriorityStore(sim, priority_key=lambda r: r.priority)
+        #: Requests submitted but not yet completed (queued + in service).
+        self.inflight = 0
+        self.requests_served = 0
+        self.bytes_served = 0
+        self.service_times = TallyStat(name=f"{name}:service")
+        #: Re-armed event that fires when a spin-up/down completes.
+        self._transition_done: Event = sim.event()
+        self._idle_started: Event = sim.event()
+        self._watchdog_timing = False
+        self._server = sim.process(self._server_loop())
+        self._watchdog = (
+            sim.process(self._idle_watchdog()) if auto_sleep_after is not None else None
+        )
+
+    # -- public API --------------------------------------------------------------
+
+    @property
+    def state(self) -> DiskState:
+        """Current power state."""
+        return self.meter.state
+
+    @property
+    def is_sleeping(self) -> bool:
+        """True when the disk cannot serve without a spin-up."""
+        return self.state in (DiskState.STANDBY, DiskState.SPIN_DOWN)
+
+    def submit(
+        self,
+        size_bytes: int,
+        kind: RequestKind = RequestKind.READ,
+        sequential: bool = False,
+        tag: object = None,
+        priority: int = PRIORITY_DEMAND,
+    ) -> DiskRequest:
+        """Enqueue a request; its ``done`` event fires on completion (or
+        fails with :class:`DiskFailureError` on a dead drive).
+
+        Lower ``priority`` serves first: demand I/O overtakes queued
+        prefetch copies and destage write-back."""
+        request = DiskRequest(
+            size_bytes=size_bytes,
+            kind=kind,
+            sequential=sequential,
+            priority=priority,
+            tag=tag,
+            issued_at=self.sim.now,
+            done=self.sim.event(),
+        )
+        if self.state is DiskState.FAILED:
+            request.done.fail(DiskFailureError(self.name))
+            return request
+        self.inflight += 1
+        if self._watchdog_timing and self._watchdog is not None:
+            self._watchdog.interrupt("activity")
+        self.queue.put(request)
+        if self.state is DiskState.STANDBY:
+            self.wake()
+        return request
+
+    def request_sleep(self) -> bool:
+        """Spin down if idle with nothing in flight.  Returns True if begun.
+
+        Legal from full-speed IDLE and (on multi-speed drives) from
+        LOW_IDLE -- the second stage of a hybrid DRPM policy.
+        """
+        if self.state not in (DiskState.IDLE, DiskState.LOW_IDLE) or self.inflight > 0:
+            return False
+        self._begin_transition(DiskState.SPIN_DOWN, DiskState.STANDBY, self.spec.spindown_s)
+        return True
+
+    def wake(self) -> bool:
+        """Spin up from standby.  Returns True if a spin-up began."""
+        if self.state is not DiskState.STANDBY:
+            return False
+        duration = self.spec.spinup_s
+        if self.spinup_jitter > 0:
+            factor = 1.0 + self._rng.normal(0.0, self.spinup_jitter)
+            duration *= min(2.0, max(0.5, factor))
+        self._begin_transition(DiskState.SPIN_UP, DiskState.IDLE, duration)
+        return True
+
+    def shift_down(self) -> bool:
+        """Drop to the low-RPM operating point (multi-speed drives).
+
+        Allowed only from IDLE with nothing in flight.  Returns True if
+        the shift began; raises if the drive is not multi-speed.
+        """
+        if self.spec.low_speed is None:
+            raise RuntimeError(f"{self.name} ({self.spec.name}) is not multi-speed")
+        if self.state is not DiskState.IDLE or self.inflight > 0:
+            return False
+        profile = self.spec.low_speed
+        self._begin_transition(DiskState.SHIFT_DOWN, DiskState.LOW_IDLE, profile.shift_s)
+        return True
+
+    def shift_up(self) -> bool:
+        """Return to the full-RPM operating point.  True if begun."""
+        if self.spec.low_speed is None:
+            raise RuntimeError(f"{self.name} ({self.spec.name}) is not multi-speed")
+        if self.state is not DiskState.LOW_IDLE:
+            return False
+        profile = self.spec.low_speed
+        self._begin_transition(DiskState.SHIFT_UP, DiskState.IDLE, profile.shift_s)
+        return True
+
+    @property
+    def shift_count(self) -> int:
+        """Speed shifts performed (multi-speed drives)."""
+        return self.meter.shift_count
+
+    def fail(self) -> None:
+        """Inject a permanent hardware failure.
+
+        The drive stops drawing power; every queued request fails with
+        :class:`DiskFailureError` immediately, as does every later
+        submit.  A request already in service completes (the head was
+        mid-transfer; simulation granularity).  Idempotent.
+        """
+        if self.state is DiskState.FAILED:
+            return
+        was_transitioning = self.state.is_transitioning
+        self._set_state(DiskState.FAILED)
+        for request in self.queue.drain():
+            self.inflight -= 1
+            assert request.done is not None
+            request.done.fail(DiskFailureError(self.name))
+        # Unblock a server loop parked on the transition; defused so an
+        # unwatched transition event cannot crash the simulation.
+        pending = self._transition_done
+        if was_transitioning and not pending.triggered:
+            pending.fail(DiskFailureError(self.name))
+            pending.defuse()
+
+    def fail_at(self, time_s: float) -> None:
+        """Schedule :meth:`fail` at an absolute simulation time."""
+        if time_s < self.sim.now:
+            raise ValueError(f"cannot fail in the past ({time_s!r} < {self.sim.now!r})")
+
+        def killer():
+            yield self.sim.timeout(time_s - self.sim.now)
+            self.fail()
+
+        self.sim.process(killer())
+
+    def finalize(self) -> None:
+        """Close the energy account at the current time."""
+        self.meter.finalize(self.sim.now)
+
+    def energy_j(self) -> float:
+        """Joules consumed so far (including the current open interval)."""
+        return self.meter.energy_j(until=self.sim.now)
+
+    @property
+    def transition_count(self) -> int:
+        """Counted power-state transitions (spin-downs + spin-ups)."""
+        return self.meter.transition_count
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of elapsed time spent in ACTIVE."""
+        elapsed = self.sim.now
+        if elapsed <= 0:
+            return 0.0
+        active = self.meter.time_in_state[DiskState.ACTIVE]
+        if self.state is DiskState.ACTIVE:
+            active += elapsed - self.meter._last_time
+        return active / elapsed
+
+    # -- internals ----------------------------------------------------------------
+
+    def _set_state(self, new_state: DiskState) -> None:
+        if new_state is self.state:
+            return
+        self.meter.transition(self.sim.now, new_state)
+
+    def _begin_transition(
+        self, via: DiskState, target: DiskState, duration: float
+    ) -> None:
+        self._set_state(via)
+        self._transition_done = self.sim.event()
+        self.sim.process(self._finish_transition(target, duration))
+
+    def _finish_transition(self, target: DiskState, duration: float):
+        done = self._transition_done
+        yield self.sim.timeout(duration)
+        if self.state is DiskState.FAILED:
+            return  # the drive died mid-transition; fail() settled `done`
+        self._set_state(target)
+        done.succeed()
+        # A request may have landed while we were spinning down; chain the
+        # wake-up immediately so it is not stranded until the next submit.
+        if target is DiskState.STANDBY and self.inflight > 0:
+            self.wake()
+
+    def _server_loop(self):
+        sim = self.sim
+        while True:
+            request: DiskRequest = yield self.queue.get()
+            # Wait out any transition in progress, then leave standby.
+            try:
+                while not self.state.can_serve:
+                    if self.state is DiskState.FAILED:
+                        raise DiskFailureError(self.name)
+                    if self.state is DiskState.STANDBY:
+                        self.wake()
+                    yield self._transition_done
+            except DiskFailureError as failure:
+                # The drive died while this request waited; fail it and
+                # park the (now pointless) server loop.
+                self.inflight -= 1
+                assert request.done is not None
+                request.done.fail(failure)
+                return
+            low = self.state.is_low_speed
+            self._set_state(DiskState.LOW_ACTIVE if low else DiskState.ACTIVE)
+            model = self.service_low if low else self.service
+            duration = model.service_time(
+                request.size_bytes, sequential=request.sequential
+            )
+            yield sim.timeout(duration)
+            self.inflight -= 1
+            self.requests_served += 1
+            self.bytes_served += request.size_bytes
+            self.service_times.record(duration)
+            if self.state is not DiskState.FAILED and self.queue.size == 0:
+                self._set_state(DiskState.LOW_IDLE if low else DiskState.IDLE)
+                if self.inflight == 0:
+                    self._signal_idle()
+            assert request.done is not None
+            request.done.succeed(request)
+
+    def _signal_idle(self) -> None:
+        event, self._idle_started = self._idle_started, self.sim.event()
+        event.succeed()
+
+    def _idle_watchdog(self):
+        """Built-in idle timer (policy fallback without application hints)."""
+        sim = self.sim
+        while True:
+            if self.state is DiskState.IDLE and self.inflight == 0:
+                self._watchdog_timing = True
+                try:
+                    yield sim.timeout(self.auto_sleep_after)
+                    if self.idle_action == "low_speed":
+                        self.shift_down()
+                    else:
+                        self.request_sleep()
+                except Interrupt:
+                    pass  # activity arrived; wait for the next idle period
+                finally:
+                    self._watchdog_timing = False
+            elif (
+                self.second_stage_after is not None
+                and self.state is DiskState.LOW_IDLE
+                and self.inflight == 0
+            ):
+                self._watchdog_timing = True
+                try:
+                    yield sim.timeout(self.second_stage_after)
+                    self.request_sleep()
+                except Interrupt:
+                    pass
+                finally:
+                    self._watchdog_timing = False
+            elif self.state.is_transitioning and self.second_stage_after is not None:
+                # Re-check once the shift/spin completes (two-stage mode
+                # must arm its LOW_IDLE timer without waiting for I/O).
+                try:
+                    yield self._transition_done
+                except DiskFailureError:
+                    return
+            else:
+                yield self._idle_started
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<SimDisk {self.name} {self.state.value} inflight={self.inflight} "
+            f"served={self.requests_served}>"
+        )

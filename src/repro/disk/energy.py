@@ -1,0 +1,148 @@
+"""Energy metering and break-even analysis for drives.
+
+The *break-even time* is the minimum idle period for which a
+spin-down/spin-up round trip saves energy at all: below it, the transition
+energy exceeds what standby saves.  §II calls large break-even times the
+fundamental limiter of disk power management; the prefetcher exists to
+manufacture idle windows longer than it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.disk.specs import DiskSpec
+from repro.disk.states import COUNTED_TRANSITIONS, DiskState, validate_transition
+from repro.sim.monitor import Recorder, TimeWeightedStat
+
+
+def standby_power_savings(spec: DiskSpec) -> float:
+    """Watts saved per second of standby versus sitting idle."""
+    return spec.power_idle_w - spec.power_standby_w
+
+
+def break_even_time(spec: DiskSpec) -> float:
+    """Idle-window length at which sleeping exactly breaks even.
+
+    For an idle window of length ``T`` the disk can either idle
+    (``E = P_idle * T``) or round-trip through standby
+    (``E = E_down + E_up + P_standby * (T - t_down - t_up)``).
+    Equating the two and solving for ``T``::
+
+        T_be = (E_down + E_up - P_standby * (t_down + t_up))
+               / (P_idle - P_standby)
+    """
+    transition_time = spec.spindown_s + spec.spinup_s
+    transition_energy = spec.spindown_energy_j + spec.spinup_energy_j
+    numerator = transition_energy - spec.power_standby_w * transition_time
+    denominator = standby_power_savings(spec)
+    t_be = numerator / denominator
+    # A window shorter than the transitions themselves cannot be slept at
+    # all, whatever the energies say.
+    return max(t_be, transition_time)
+
+
+def standby_energy_saved(spec: DiskSpec, idle_window_s: float) -> float:
+    """Joules saved by sleeping through *idle_window_s* (can be negative)."""
+    if idle_window_s < 0:
+        raise ValueError(f"negative idle window: {idle_window_s!r}")
+    transition_time = spec.spindown_s + spec.spinup_s
+    if idle_window_s < transition_time:
+        # Cannot complete the round trip inside the window; treat the whole
+        # attempt as transition cost on top of what idling would have used.
+        return -(spec.spindown_energy_j + spec.spinup_energy_j)
+    idle_cost = spec.power_idle_w * idle_window_s
+    sleep_cost = (
+        spec.spindown_energy_j
+        + spec.spinup_energy_j
+        + spec.power_standby_w * (idle_window_s - transition_time)
+    )
+    return idle_cost - sleep_cost
+
+
+class EnergyMeter:
+    """Per-drive energy account driven by state changes.
+
+    Every call to :meth:`transition` validates the move against the state
+    machine, accrues energy for the elapsed interval at the old state's
+    power, and counts standby entries/exits (the paper's Fig. 4 metric).
+    """
+
+    #: Map of state -> (spec -> watts).  LOW_*/SHIFT_* states require a
+    #: multi-speed spec and fail loudly otherwise.
+    _POWER = {
+        DiskState.ACTIVE: lambda spec: spec.power_active_w,
+        DiskState.IDLE: lambda spec: spec.power_idle_w,
+        DiskState.STANDBY: lambda spec: spec.power_standby_w,
+        DiskState.SPIN_UP: lambda spec: spec.spinup_power_w,
+        DiskState.SPIN_DOWN: lambda spec: spec.spindown_power_w,
+        DiskState.LOW_ACTIVE: lambda spec: spec.low_speed.power_active_w,
+        DiskState.LOW_IDLE: lambda spec: spec.low_speed.power_idle_w,
+        DiskState.SHIFT_UP: lambda spec: spec.low_speed.shift_power_w,
+        DiskState.SHIFT_DOWN: lambda spec: spec.low_speed.shift_power_w,
+        DiskState.FAILED: lambda spec: 0.0,
+    }
+
+    def __init__(
+        self,
+        spec: DiskSpec,
+        start_time: float = 0.0,
+        initial_state: DiskState = DiskState.IDLE,
+        record_history: bool = False,
+    ) -> None:
+        self.spec = spec
+        self.state = initial_state
+        self._power = TimeWeightedStat(
+            name=f"{spec.name}:power",
+            time=start_time,
+            level=self._POWER[initial_state](spec),
+        )
+        self.transition_count = 0
+        self.spinup_count = 0
+        self.spindown_count = 0
+        #: Speed shifts (multi-speed drives only; not in Fig. 4's metric).
+        self.shift_count = 0
+        self.time_in_state: dict[DiskState, float] = {s: 0.0 for s in DiskState}
+        self._last_time = start_time
+        self.history: Optional[Recorder] = Recorder("states") if record_history else None
+        if self.history is not None:
+            self.history.record(start_time, initial_state)
+
+    def transition(self, time: float, new_state: DiskState) -> None:
+        """Move to *new_state* at *time*, accruing energy for the interval."""
+        validate_transition(self.state, new_state)
+        self.time_in_state[self.state] += time - self._last_time
+        self._power.update(time, self._POWER[new_state](self.spec))
+        if (self.state, new_state) in COUNTED_TRANSITIONS:
+            self.transition_count += 1
+            if new_state is DiskState.SPIN_DOWN:
+                self.spindown_count += 1
+            else:
+                self.spinup_count += 1
+        if new_state in (DiskState.SHIFT_UP, DiskState.SHIFT_DOWN):
+            self.shift_count += 1
+        self.state = new_state
+        self._last_time = time
+        if self.history is not None:
+            self.history.record(time, new_state)
+
+    def energy_j(self, until: Optional[float] = None) -> float:
+        """Total joules consumed from start until *until* (default: now)."""
+        return self._power.integral(until)
+
+    def finalize(self, time: float) -> None:
+        """Close the account at *time* (accrue the final interval)."""
+        self.time_in_state[self.state] += time - self._last_time
+        self._power.update(time, self._power.level)
+        self._last_time = time
+
+    @property
+    def power_w(self) -> float:
+        """Instantaneous power draw."""
+        return self._power.level
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<EnergyMeter {self.spec.name} state={self.state.value} "
+            f"E={self.energy_j():.1f}J transitions={self.transition_count}>"
+        )

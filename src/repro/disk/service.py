@@ -1,0 +1,70 @@
+"""Request service-time model.
+
+Service time for one request is::
+
+    positioning (seek + rotational latency)  --  skipped for sequential I/O
+    + size / bandwidth                        --  media transfer
+    * (1 + jitter)                            --  optional lognormal-ish noise
+
+Buffer disks are *log disks* (§I: "data can be written onto the log disks
+in a sequential manner"), so writes to them are sequential; the node marks
+those requests accordingly and they skip positioning.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.disk.specs import DiskSpec
+
+
+class ServiceTimeModel:
+    """Computes per-request service times for a drive.
+
+    Parameters
+    ----------
+    spec:
+        The drive being modelled.
+    jitter:
+        Relative standard deviation of multiplicative service-time noise
+        (0 disables noise; the default, keeping runs bit-deterministic
+        unless an experiment opts in).
+    rng:
+        Generator for the noise; required when ``jitter > 0``.
+    """
+
+    def __init__(
+        self,
+        spec: DiskSpec,
+        jitter: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter!r}")
+        if jitter > 0 and rng is None:
+            raise ValueError("jitter > 0 requires an rng")
+        self.spec = spec
+        self.jitter = float(jitter)
+        self.rng = rng
+
+    def service_time(self, size_bytes: float, sequential: bool = False) -> float:
+        """Seconds to serve one request of *size_bytes*."""
+        if size_bytes < 0:
+            raise ValueError(f"negative request size: {size_bytes!r}")
+        base = self.spec.transfer_time(size_bytes)
+        if not sequential:
+            base += self.spec.positioning_s
+        if self.jitter > 0:
+            assert self.rng is not None
+            # Truncated-at-zero multiplicative noise keeps times positive.
+            factor = max(0.0, 1.0 + self.rng.normal(0.0, self.jitter))
+            base *= factor
+        return base
+
+    def throughput_bps(self, size_bytes: float, sequential: bool = False) -> float:
+        """Effective throughput for requests of *size_bytes* (diagnostic)."""
+        if size_bytes <= 0:
+            raise ValueError(f"size must be > 0, got {size_bytes!r}")
+        return size_bytes / self.service_time(size_bytes, sequential=sequential)

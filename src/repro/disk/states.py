@@ -1,0 +1,126 @@
+"""The disk power-state machine.
+
+The paper (and the DPM literature it builds on, [14] in its references)
+models a drive with a small set of power states.  We use five:
+
+========  =====================================================
+ACTIVE    platters spinning, head servicing a request
+IDLE      platters spinning, no request in service
+SPIN_DOWN transitioning IDLE -> STANDBY (takes time, costs energy)
+STANDBY   platters stopped; must spin up before serving
+SPIN_UP   transitioning STANDBY -> IDLE (the ~2 s penalty of §VI-C)
+========  =====================================================
+
+Transitions outside :data:`LEGAL_TRANSITIONS` indicate a logic error in a
+power-management policy and raise immediately rather than corrupting the
+energy account.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class DiskState(enum.Enum):
+    """Power states of a simulated drive.
+
+    The ``LOW_*`` / ``SHIFT_*`` states exist only on multi-speed (DRPM,
+    [10]) drives -- a reduced-RPM operating point with its own power and
+    bandwidth, reached through a speed shift rather than a full
+    spin-down.
+    """
+
+    ACTIVE = "active"
+    IDLE = "idle"
+    SPIN_DOWN = "spin_down"
+    STANDBY = "standby"
+    SPIN_UP = "spin_up"
+    #: Multi-speed extension: reduced-RPM operating points.
+    LOW_IDLE = "low_idle"
+    LOW_ACTIVE = "low_active"
+    SHIFT_DOWN = "shift_down"
+    SHIFT_UP = "shift_up"
+    #: Terminal hardware failure (fault-injection testing).
+    FAILED = "failed"
+
+    @property
+    def is_spinning(self) -> bool:
+        """True while the platters rotate (rotational power draw)."""
+        return self not in (DiskState.STANDBY, DiskState.SPIN_UP, DiskState.FAILED)
+
+    @property
+    def can_serve(self) -> bool:
+        """True if a request could start service without a transition."""
+        return self in (
+            DiskState.ACTIVE,
+            DiskState.IDLE,
+            DiskState.LOW_IDLE,
+            DiskState.LOW_ACTIVE,
+        )
+
+    @property
+    def is_low_speed(self) -> bool:
+        """True at the reduced-RPM operating point."""
+        return self in (DiskState.LOW_IDLE, DiskState.LOW_ACTIVE)
+
+    @property
+    def is_transitioning(self) -> bool:
+        """True during spin-up/-down or a speed shift."""
+        return self in (
+            DiskState.SPIN_UP,
+            DiskState.SPIN_DOWN,
+            DiskState.SHIFT_UP,
+            DiskState.SHIFT_DOWN,
+        )
+
+
+#: Allowed state transitions.  ``ACTIVE -> SPIN_DOWN`` is deliberately
+#: absent: a disk must drain to IDLE before a power policy may sleep it;
+#: likewise speed shifts start from the matching idle state.
+LEGAL_TRANSITIONS: dict[DiskState, frozenset[DiskState]] = {
+    DiskState.ACTIVE: frozenset({DiskState.IDLE, DiskState.FAILED}),
+    DiskState.IDLE: frozenset(
+        {DiskState.ACTIVE, DiskState.SPIN_DOWN, DiskState.SHIFT_DOWN, DiskState.FAILED}
+    ),
+    DiskState.SPIN_DOWN: frozenset({DiskState.STANDBY, DiskState.FAILED}),
+    DiskState.STANDBY: frozenset({DiskState.SPIN_UP, DiskState.FAILED}),
+    DiskState.SPIN_UP: frozenset({DiskState.IDLE, DiskState.FAILED}),
+    DiskState.SHIFT_DOWN: frozenset({DiskState.LOW_IDLE, DiskState.FAILED}),
+    DiskState.LOW_IDLE: frozenset(
+        {
+            DiskState.LOW_ACTIVE,
+            DiskState.SHIFT_UP,
+            DiskState.SPIN_DOWN,
+            DiskState.FAILED,
+        }
+    ),
+    DiskState.LOW_ACTIVE: frozenset({DiskState.LOW_IDLE, DiskState.FAILED}),
+    DiskState.SHIFT_UP: frozenset({DiskState.IDLE, DiskState.FAILED}),
+    DiskState.FAILED: frozenset(),  # terminal
+}
+
+
+class IllegalTransition(RuntimeError):
+    """Raised when a policy attempts a transition the hardware cannot do."""
+
+    def __init__(self, source: DiskState, target: DiskState) -> None:
+        super().__init__(f"illegal disk state transition {source.value} -> {target.value}")
+        self.source = source
+        self.target = target
+
+
+def validate_transition(source: DiskState, target: DiskState) -> None:
+    """Raise :class:`IllegalTransition` unless ``source -> target`` is legal."""
+    if target not in LEGAL_TRANSITIONS[source]:
+        raise IllegalTransition(source, target)
+
+
+#: Transitions counted by the paper's "number of power state transitions"
+#: metric (Fig. 4): entering and leaving standby, i.e. each spin-down and
+#: each spin-up counts as one.
+COUNTED_TRANSITIONS: frozenset[tuple[DiskState, DiskState]] = frozenset(
+    {
+        (DiskState.IDLE, DiskState.SPIN_DOWN),
+        (DiskState.STANDBY, DiskState.SPIN_UP),
+    }
+)

@@ -1,0 +1,44 @@
+"""The experiment harness: every table and figure of the evaluation.
+
+* :mod:`repro.experiments.runner`    -- run paired PF/NPF experiments,
+* :mod:`repro.experiments.sweeps`    -- the four Table-II parameter sweeps
+  (shared by Figs. 3, 4 and 5, exactly as in the paper),
+* :mod:`repro.experiments.figures`   -- regenerate Figs. 3-6,
+* :mod:`repro.experiments.tables`    -- regenerate Tables I and II,
+* :mod:`repro.experiments.ablations` -- ablations beyond the paper
+  (idle threshold, hints, disks per node, predictors, replay modes).
+"""
+
+from repro.experiments.runner import PairResult, run_pair
+from repro.experiments.sweeps import SweepSet, run_sweep, run_all_sweeps
+from repro.experiments.figures import (
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+)
+from repro.experiments.tables import table1, table2
+from repro.experiments.validation import validate_reproduction
+from repro.experiments.paper import generate_report
+from repro.experiments.repetition import repeat_pair
+from repro.experiments.sensitivity import power_model_sensitivity
+from repro.experiments.crossover import find_min_effective_k
+
+__all__ = [
+    "PairResult",
+    "SweepSet",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "find_min_effective_k",
+    "generate_report",
+    "power_model_sensitivity",
+    "repeat_pair",
+    "run_all_sweeps",
+    "run_pair",
+    "run_sweep",
+    "table1",
+    "table2",
+    "validate_reproduction",
+]

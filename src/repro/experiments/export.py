@@ -1,0 +1,144 @@
+"""Export figure/sweep data as CSV or JSON for external plotting.
+
+The plain-text renders are for the terminal; these exporters feed
+gnuplot/matplotlib/spreadsheets.  One CSV per figure panel, or one JSON
+document per figure.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.experiments.figures import FigureResult, Figure6Result
+
+
+def figure_to_dict(figure: FigureResult) -> Dict[str, object]:
+    """JSON-serialisable representation of a multi-panel figure."""
+    return {
+        "figure": figure.figure,
+        "title": figure.title,
+        "panels": {
+            letter: {
+                "x_label": panel.x_label,
+                "x_values": list(panel.x_values),
+                "series": {name: list(col) for name, col in panel.series.items()},
+            }
+            for letter, panel in figure.panels.items()
+        },
+    }
+
+
+def figure6_to_dict(figure: Figure6Result) -> Dict[str, object]:
+    """JSON-serialisable representation of the Fig. 6 result."""
+    return {
+        "figure": "Fig6",
+        "pf_energy_j": figure.pf_energy_j,
+        "npf_energy_j": figure.npf_energy_j,
+        "savings_pct": figure.savings_pct,
+        "pf_transitions": figure.comparison.pf.transitions,
+        "npf_transitions": figure.comparison.npf.transitions,
+        "pf_response_s": figure.comparison.pf.mean_response_s,
+        "npf_response_s": figure.comparison.npf.mean_response_s,
+    }
+
+
+def write_figure_json(
+    figure: Union[FigureResult, Figure6Result], path: Union[str, Path]
+) -> Path:
+    """Write one figure's data as JSON; returns the path written."""
+    path = Path(path)
+    data = (
+        figure6_to_dict(figure)
+        if isinstance(figure, Figure6Result)
+        else figure_to_dict(figure)
+    )
+    path.write_text(json.dumps(data, indent=2) + "\n")
+    return path
+
+
+def runresult_to_dict(result) -> Dict[str, object]:
+    """Full JSON-serialisable dump of a :class:`RunResult`.
+
+    Per-node and per-disk detail included, so downstream analysis never
+    needs to re-run the simulation.
+    """
+    return {
+        "config": {
+            "prefetch_enabled": result.config.prefetch_enabled,
+            "prefetch_files": result.config.prefetch_files,
+            "idle_threshold_s": result.config.idle_threshold_s,
+            "use_hints": result.config.use_hints,
+            "stripe_width": result.config.stripe_width,
+            "placement_policy": result.config.placement_policy,
+        },
+        "epoch_s": result.epoch_s,
+        "end_s": result.end_s,
+        "energy_j": result.energy_j,
+        "energy_with_setup_j": result.energy_with_setup_j,
+        "transitions": result.transitions,
+        "mean_response_s": result.mean_response_s,
+        "response_p99_s": (
+            result.response_times.percentile(99)
+            if result.response_times.count
+            else None
+        ),
+        "buffer_hit_rate": result.buffer_hit_rate,
+        "requests": result.requests_total,
+        "requests_failed": result.requests_failed,
+        "writes_buffered": result.writes_buffered,
+        "writes_destaged": result.writes_destaged,
+        "prefetch_files_copied": result.prefetch_files_copied,
+        "latency_components": {
+            name: {"mean": stat.mean, "count": stat.count}
+            for name, stat in result.latency_components.items()
+        },
+        "nodes": [
+            {
+                "name": node.name,
+                "base_energy_j": node.base_energy_j,
+                "disk_energy_j": node.disk_energy_j,
+                "transitions": node.transitions,
+                "buffer_hits": node.buffer_hits,
+                "data_disk_hits": node.data_disk_hits,
+                "disks": [
+                    {
+                        "name": disk.name,
+                        "energy_j": disk.energy_j,
+                        "transitions": disk.transitions,
+                        "spinups": disk.spinups,
+                        "requests_served": disk.requests_served,
+                        "time_in_state_s": disk.time_in_state_s,
+                    }
+                    for disk in node.disks
+                ],
+            }
+            for node in result.nodes
+        ],
+    }
+
+
+def write_runresult_json(result, path: Union[str, Path]) -> Path:
+    """Dump a run's full measurement record to JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(runresult_to_dict(result), indent=2) + "\n")
+    return path
+
+
+def write_figure_csv(figure: FigureResult, directory: Union[str, Path]) -> List[Path]:
+    """Write one CSV per panel into *directory*; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for letter, panel in sorted(figure.panels.items()):
+        path = directory / f"{figure.figure.lower()}{letter}.csv"
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            names = list(panel.series)
+            writer.writerow([panel.x_label, *names])
+            for i, x in enumerate(panel.x_values):
+                writer.writerow([x, *(panel.series[name][i] for name in names)])
+        written.append(path)
+    return written

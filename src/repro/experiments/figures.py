@@ -1,0 +1,181 @@
+"""Regeneration of the paper's Figs. 3-6.
+
+Each ``figureN`` function returns a :class:`FigureResult`: the panels'
+series (x values plus one column per plotted line) and a ``render()``
+producing the plain-text equivalent of the figure.  Figures 3, 4 and 5
+slice one shared :class:`~repro.experiments.sweeps.SweepSet`; Fig. 6 runs
+the Berkeley-web-like trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import ClusterSpec, EEVFSConfig
+from repro.experiments.runner import run_pair
+from repro.experiments.sweeps import SweepSet, run_all_sweeps
+from repro.metrics.comparison import PairedComparison
+from repro.metrics.report import format_series
+from repro.traces.berkeley import BerkeleyWebWorkload, generate_berkeley_like_trace
+
+#: Panel letter -> (sweep name, x-axis label), fixed across Figs. 3/4/5.
+PANELS = {
+    "a": ("data_size", "Data Size (MB)"),
+    "b": ("mu", "MU"),
+    "c": ("inter_arrival", "Inter-arrival delay (ms)"),
+    "d": ("prefetch_count", "# of files to prefetch"),
+}
+
+
+@dataclass
+class Panel:
+    """One sub-figure: x values and named series."""
+
+    letter: str
+    x_label: str
+    x_values: List[object]
+    series: Dict[str, List[float]]
+
+    def render(self, title: str) -> str:
+        return format_series(
+            self.x_label, self.x_values, self.series, title=f"{title}({self.letter})"
+        )
+
+
+@dataclass
+class FigureResult:
+    """All panels of one figure plus provenance."""
+
+    figure: str
+    title: str
+    panels: Dict[str, Panel] = field(default_factory=dict)
+
+    def render(self) -> str:
+        blocks = [f"=== {self.figure}: {self.title} ==="]
+        blocks.extend(
+            self.panels[letter].render(self.figure) for letter in sorted(self.panels)
+        )
+        return "\n\n".join(blocks)
+
+    def panel(self, letter: str) -> Panel:
+        return self.panels[letter]
+
+
+def _panels_from(
+    sweeps: SweepSet, extract, series_names: Sequence[str]
+) -> Dict[str, Panel]:
+    panels: Dict[str, Panel] = {}
+    for letter, (sweep, x_label) in PANELS.items():
+        if sweep not in sweeps:
+            continue
+        points = sweeps[sweep]
+        columns = {name: [] for name in series_names}
+        for point in points:
+            values = extract(point.comparison)
+            for name, value in zip(series_names, values):
+                columns[name].append(value)
+        panels[letter] = Panel(
+            letter=letter,
+            x_label=x_label,
+            x_values=[p.value for p in points],
+            series=columns,
+        )
+    return panels
+
+
+def figure3(sweeps: Optional[SweepSet] = None, **sweep_kwargs) -> FigureResult:
+    """Fig. 3: energy consumption (J), PF vs NPF, four panels."""
+    sweeps = sweeps if sweeps is not None else run_all_sweeps(**sweep_kwargs)
+    result = FigureResult(
+        figure="Fig3", title="Energy consumption of the cluster storage system (J)"
+    )
+    result.panels = _panels_from(
+        sweeps,
+        lambda c: (c.pf.energy_j, c.npf.energy_j, c.energy_savings_pct),
+        ("PF_energy_J", "NPF_energy_J", "savings_pct"),
+    )
+    return result
+
+
+def figure4(sweeps: Optional[SweepSet] = None, **sweep_kwargs) -> FigureResult:
+    """Fig. 4: total power-state transitions, four panels."""
+    sweeps = sweeps if sweeps is not None else run_all_sweeps(**sweep_kwargs)
+    result = FigureResult(figure="Fig4", title="Number of power state transitions")
+    result.panels = _panels_from(
+        sweeps,
+        lambda c: (c.pf.transitions, c.npf.transitions),
+        ("PF_transitions", "NPF_transitions"),
+    )
+    return result
+
+
+def figure5(sweeps: Optional[SweepSet] = None, **sweep_kwargs) -> FigureResult:
+    """Fig. 5: mean file-request response time (s), PF vs NPF."""
+    sweeps = sweeps if sweeps is not None else run_all_sweeps(**sweep_kwargs)
+    result = FigureResult(figure="Fig5", title="File request response time (s)")
+    result.panels = _panels_from(
+        sweeps,
+        lambda c: (
+            c.pf.mean_response_s,
+            c.npf.mean_response_s,
+            c.response_penalty_pct,
+        ),
+        ("PF_response_s", "NPF_response_s", "penalty_pct"),
+    )
+    return result
+
+
+@dataclass
+class Figure6Result:
+    """Fig. 6: energy on the Berkeley-web-like trace, PF vs NPF."""
+
+    comparison: PairedComparison
+
+    @property
+    def pf_energy_j(self) -> float:
+        return self.comparison.pf.energy_j
+
+    @property
+    def npf_energy_j(self) -> float:
+        return self.comparison.npf.energy_j
+
+    @property
+    def savings_pct(self) -> float:
+        return self.comparison.energy_savings_pct
+
+    def render(self) -> str:
+        return format_series(
+            "mode",
+            ["PF", "NPF"],
+            {
+                "energy_J": [self.pf_energy_j, self.npf_energy_j],
+                "transitions": [
+                    float(self.comparison.pf.transitions),
+                    float(self.comparison.npf.transitions),
+                ],
+            },
+            title=(
+                "=== Fig6: Berkeley web trace energy "
+                f"(savings {self.savings_pct:.1f} %) ==="
+            ),
+        )
+
+
+def figure6(
+    n_requests: int = 1000,
+    config: Optional[EEVFSConfig] = None,
+    cluster: Optional[ClusterSpec] = None,
+    seed: int = 0,
+    trace_seed: int = 2,
+) -> Figure6Result:
+    """Regenerate Fig. 6 on the Berkeley-web-like trace (§VI-D setup:
+    10 MB data size, K=70, re-spaced inter-arrival)."""
+    workload = BerkeleyWebWorkload(n_requests=n_requests)
+    trace = generate_berkeley_like_trace(
+        workload, rng=np.random.default_rng(trace_seed)
+    )
+    comparison = run_pair(trace, config=config, cluster=cluster, seed=seed)
+    return Figure6Result(comparison=comparison)

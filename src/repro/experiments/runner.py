@@ -1,0 +1,63 @@
+"""Paired PF/NPF experiment execution.
+
+Every data point in Figs. 3-6 is one *pair* of runs over an identical
+trace: EEVFS with prefetching (PF) and without (NPF).  The pair shares
+the trace object and the seed, so the only difference is policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import ClusterSpec, EEVFSConfig
+from repro.core.filesystem import RunResult, run_eevfs
+from repro.metrics.comparison import PairedComparison, compare
+from repro.traces.model import Trace
+from repro.traces.synthetic import SyntheticWorkload, generate_synthetic_trace
+
+
+@dataclass(frozen=True)
+class PairResult:
+    """One x-axis point of a sweep: the parameter value and both runs."""
+
+    parameter: str
+    value: object
+    comparison: PairedComparison
+
+    @property
+    def pf(self) -> RunResult:
+        return self.comparison.pf
+
+    @property
+    def npf(self) -> RunResult:
+        return self.comparison.npf
+
+
+def run_pair(
+    trace: Trace,
+    config: Optional[EEVFSConfig] = None,
+    cluster: Optional[ClusterSpec] = None,
+    seed: int = 0,
+) -> PairedComparison:
+    """Run PF and NPF over the same *trace* and compare."""
+    config = config or EEVFSConfig()
+    pf = run_eevfs(trace, config=config.as_pf(), cluster=cluster, seed=seed)
+    npf = run_eevfs(trace, config=config.as_npf(), cluster=cluster, seed=seed)
+    return compare(pf, npf)
+
+
+def run_pair_for_workload(
+    workload: SyntheticWorkload,
+    config: Optional[EEVFSConfig] = None,
+    cluster: Optional[ClusterSpec] = None,
+    seed: int = 0,
+    trace_seed: int = 1,
+) -> PairedComparison:
+    """Generate the synthetic trace for *workload*, then :func:`run_pair`."""
+    trace = generate_synthetic_trace(
+        workload, rng=np.random.default_rng(trace_seed)
+    )
+    return run_pair(trace, config=config, cluster=cluster, seed=seed)

@@ -1,0 +1,113 @@
+"""The four Table-II parameter sweeps.
+
+One set of runs feeds Figs. 3, 4 *and* 5 -- the paper plots the same
+experiments three ways (energy, transitions, response time), so
+:func:`run_all_sweeps` executes each (parameter, value) pair exactly once
+and the figure modules slice the shared :class:`SweepSet`.
+
+Fixed defaults per §VI: data size 10 MB, MU 1000, inter-arrival 700 ms,
+K=70, idle threshold 5 s, 1000 files.  ``scale`` shrinks the request
+count for quick runs (tests use it); 1.0 is the paper's 1000 requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import ClusterSpec, EEVFSConfig, PARAMETER_GRID
+from repro.experiments.runner import PairResult, run_pair_for_workload
+from repro.traces.synthetic import MB, SyntheticWorkload
+
+#: Sweep name -> (workload/config field, Table-II values).
+SWEEPS = {
+    "data_size": ("data_size_mb", PARAMETER_GRID["data_size_mb"]),
+    "mu": ("mu", PARAMETER_GRID["mu"]),
+    "inter_arrival": ("inter_arrival_ms", PARAMETER_GRID["inter_arrival_ms"]),
+    "prefetch_count": ("prefetch_files", PARAMETER_GRID["prefetch_files"]),
+}
+
+
+@dataclass
+class SweepSet:
+    """All four sweeps' paired results, keyed by sweep name."""
+
+    results: Dict[str, List[PairResult]] = field(default_factory=dict)
+    n_requests: int = 1000
+    seed: int = 0
+
+    def __getitem__(self, sweep: str) -> List[PairResult]:
+        return self.results[sweep]
+
+    def __contains__(self, sweep: str) -> bool:
+        return sweep in self.results
+
+    def x_values(self, sweep: str) -> List[object]:
+        return [p.value for p in self.results[sweep]]
+
+
+def _workload_for(sweep: str, value: object, n_requests: int) -> SyntheticWorkload:
+    base = SyntheticWorkload(n_requests=n_requests)
+    if sweep == "data_size":
+        return replace(base, data_size_bytes=int(value) * MB)
+    if sweep == "mu":
+        return replace(base, mu=float(value))
+    if sweep == "inter_arrival":
+        return replace(base, inter_arrival_s=float(value) / 1000.0)
+    if sweep == "prefetch_count":
+        return base  # the knob lives in EEVFSConfig, not the workload
+    raise ValueError(f"unknown sweep: {sweep!r}")
+
+
+def _config_for(sweep: str, value: object, base: EEVFSConfig) -> EEVFSConfig:
+    if sweep == "prefetch_count":
+        return replace(base, prefetch_files=int(value))
+    return base
+
+
+def run_sweep(
+    sweep: str,
+    values: Optional[Sequence[object]] = None,
+    n_requests: int = 1000,
+    config: Optional[EEVFSConfig] = None,
+    cluster: Optional[ClusterSpec] = None,
+    seed: int = 0,
+) -> List[PairResult]:
+    """Run one Table-II sweep; returns one :class:`PairResult` per value."""
+    if sweep not in SWEEPS:
+        raise ValueError(f"unknown sweep {sweep!r}; options: {sorted(SWEEPS)}")
+    parameter, default_values = SWEEPS[sweep]
+    values = list(default_values if values is None else values)
+    base_config = config or EEVFSConfig()
+    results: List[PairResult] = []
+    for value in values:
+        workload = _workload_for(sweep, value, n_requests)
+        point_config = _config_for(sweep, value, base_config)
+        comparison = run_pair_for_workload(
+            workload, config=point_config, cluster=cluster, seed=seed
+        )
+        results.append(
+            PairResult(parameter=parameter, value=value, comparison=comparison)
+        )
+    return results
+
+
+def run_all_sweeps(
+    n_requests: int = 1000,
+    config: Optional[EEVFSConfig] = None,
+    cluster: Optional[ClusterSpec] = None,
+    seed: int = 0,
+    sweeps: Optional[Sequence[str]] = None,
+) -> SweepSet:
+    """Execute every Table-II sweep once (the Figs. 3/4/5 corpus)."""
+    selected = list(sweeps) if sweeps is not None else sorted(SWEEPS)
+    sweep_set = SweepSet(n_requests=n_requests, seed=seed)
+    for sweep in selected:
+        sweep_set.results[sweep] = run_sweep(
+            sweep,
+            n_requests=n_requests,
+            config=config,
+            cluster=cluster,
+            seed=seed,
+        )
+    return sweep_set

@@ -1,0 +1,36 @@
+"""Measurement and comparison utilities.
+
+The paper evaluates three metrics (§V-C): energy consumption, number of
+power-state transitions, and response time.  This package turns raw
+:class:`~repro.core.filesystem.RunResult` pairs into the derived
+quantities the figures report (savings %, penalty %) and renders
+plain-text tables/series.
+"""
+
+from repro.metrics.comparison import PairedComparison, compare
+from repro.metrics.report import format_series, format_table
+from repro.metrics.wear import WearReport, wear_report
+from repro.metrics.breakdown import (
+    EnergyBreakdown,
+    breakdown_table,
+    compare_breakdowns,
+    energy_breakdown,
+    state_time_breakdown,
+)
+from repro.metrics.chart import bar_chart, grouped_bar_chart
+
+__all__ = [
+    "EnergyBreakdown",
+    "PairedComparison",
+    "WearReport",
+    "bar_chart",
+    "breakdown_table",
+    "compare",
+    "compare_breakdowns",
+    "energy_breakdown",
+    "format_series",
+    "format_table",
+    "grouped_bar_chart",
+    "state_time_breakdown",
+    "wear_report",
+]

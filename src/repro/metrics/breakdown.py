@@ -1,0 +1,112 @@
+"""Energy and time breakdowns of a run.
+
+Where did the joules go?  The paper reports only totals; operators need
+the decomposition -- base power vs buffer disks vs data disks, and disk
+time by power state -- to know which knob to turn next.  Everything here
+is derived from the :class:`~repro.core.filesystem.RunResult`'s per-disk
+reports, so it adds no simulation cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.filesystem import RunResult
+from repro.metrics.report import format_table
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Cluster energy split by component."""
+
+    base_j: float
+    buffer_disks_j: float
+    data_disks_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.base_j + self.buffer_disks_j + self.data_disks_j
+
+    def fractions(self) -> Dict[str, float]:
+        """Component shares of the total (empty-run safe)."""
+        total = self.total_j
+        if total == 0:
+            return {"base": 0.0, "buffer_disks": 0.0, "data_disks": 0.0}
+        return {
+            "base": self.base_j / total,
+            "buffer_disks": self.buffer_disks_j / total,
+            "data_disks": self.data_disks_j / total,
+        }
+
+
+def energy_breakdown(result: RunResult) -> EnergyBreakdown:
+    """Split a run's storage-node energy by component."""
+    base = sum(node.base_energy_j for node in result.nodes)
+    buffer_j = 0.0
+    data_j = 0.0
+    for node in result.nodes:
+        for disk in node.disks:
+            if "buffer" in disk.name:
+                buffer_j += disk.energy_j
+            else:
+                data_j += disk.energy_j
+    return EnergyBreakdown(base_j=base, buffer_disks_j=buffer_j, data_disks_j=data_j)
+
+
+def state_time_breakdown(result: RunResult) -> Dict[str, float]:
+    """Total data-disk seconds per power state across the cluster."""
+    totals: Dict[str, float] = {}
+    for node in result.nodes:
+        for disk in node.disks:
+            if "buffer" in disk.name:
+                continue
+            for state, seconds in disk.time_in_state_s.items():
+                totals[state] = totals.get(state, 0.0) + seconds
+    return totals
+
+
+def breakdown_table(result: RunResult) -> str:
+    """Printable component + state breakdown for one run."""
+    energy = energy_breakdown(result)
+    fractions = energy.fractions()
+    rows: List[List[object]] = [
+        ["node base power", energy.base_j, 100 * fractions["base"]],
+        ["buffer disks", energy.buffer_disks_j, 100 * fractions["buffer_disks"]],
+        ["data disks", energy.data_disks_j, 100 * fractions["data_disks"]],
+        ["total", energy.total_j, 100.0],
+    ]
+    component = format_table(
+        ["component", "energy_J", "share_pct"],
+        rows,
+        title="Energy by component",
+    )
+    states = state_time_breakdown(result)
+    total_s = sum(states.values()) or 1.0
+    state_rows = [
+        [state, seconds, 100 * seconds / total_s]
+        for state, seconds in sorted(states.items(), key=lambda kv: -kv[1])
+        if seconds > 0
+    ]
+    state_table = format_table(
+        ["data-disk state", "seconds", "share_pct"],
+        state_rows,
+        title="Data-disk time by state",
+    )
+    return component + "\n\n" + state_table
+
+
+def compare_breakdowns(pf: RunResult, npf: RunResult) -> str:
+    """Side-by-side PF/NPF component table -- shows *where* PF saves."""
+    a, b = energy_breakdown(pf), energy_breakdown(npf)
+    rows = [
+        ["node base power", a.base_j, b.base_j, b.base_j - a.base_j],
+        ["buffer disks", a.buffer_disks_j, b.buffer_disks_j, b.buffer_disks_j - a.buffer_disks_j],
+        ["data disks", a.data_disks_j, b.data_disks_j, b.data_disks_j - a.data_disks_j],
+        ["total", a.total_j, b.total_j, b.total_j - a.total_j],
+    ]
+    return format_table(
+        ["component", "PF_J", "NPF_J", "saved_J"],
+        rows,
+        title="Energy by component, PF vs NPF",
+    )

@@ -1,0 +1,68 @@
+"""Plain-text rendering of tables and figure series.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output consistent and aligned.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5:
+            return f"{value:.3e}"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers: {row!r}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict,
+    title: Optional[str] = None,
+) -> str:
+    """Render one figure panel: x column plus one column per series."""
+    headers = [x_label, *series.keys()]
+    columns = list(series.values())
+    for name, col in series.items():
+        if len(col) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(col)} points for {len(x_values)} x-values"
+            )
+    rows = [
+        [x, *(col[i] for col in columns)]
+        for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,24 @@
+"""Network substrate: NICs, links and a switching fabric.
+
+The EEVFS testbed (Table I) connects one storage server, eight storage
+nodes and the clients over Ethernet -- gigabit for the server and type-1
+nodes, 100 Mb/s for type-2 nodes.  This package models that fabric:
+
+* :mod:`repro.net.message`  -- typed messages with payload and wire size,
+* :mod:`repro.net.link`     -- a serialising point-to-point link (a NIC),
+* :mod:`repro.net.fabric`   -- endpoints joined through a non-blocking
+  switch; a transfer is limited by the slower of the two endpoint NICs.
+"""
+
+from repro.net.message import Message
+from repro.net.link import Link, FAST_ETHERNET_BPS, GIGABIT_ETHERNET_BPS
+from repro.net.fabric import Endpoint, Fabric
+
+__all__ = [
+    "Endpoint",
+    "FAST_ETHERNET_BPS",
+    "Fabric",
+    "GIGABIT_ETHERNET_BPS",
+    "Link",
+    "Message",
+]

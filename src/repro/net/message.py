@@ -1,0 +1,46 @@
+"""Network messages.
+
+A :class:`Message` is what travels the fabric: an opaque payload plus the
+number of bytes it occupies on the wire.  Protocol semantics (the EEVFS
+request/response/control vocabulary of Fig. 2) live in ``repro.core``;
+the network layer only cares about size and addressing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Wire size charged for small control messages (request forwarding,
+#: metadata replies, hints).  1 KiB comfortably covers the EEVFS control
+#: structures while remaining negligible next to file payloads.
+CONTROL_MESSAGE_BYTES = 1024
+
+_message_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """One unit of data in flight between two endpoints."""
+
+    src: str
+    dst: str
+    payload: Any
+    size_bytes: int = CONTROL_MESSAGE_BYTES
+    #: Simulated send time, filled in by the fabric.
+    sent_at: float = 0.0
+    #: Simulated delivery time, filled in by the fabric.
+    delivered_at: float = 0.0
+    message_id: int = field(default_factory=lambda: next(_message_ids))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"negative message size: {self.size_bytes!r}")
+        if not self.src or not self.dst:
+            raise ValueError("messages need non-empty src and dst addresses")
+
+    @property
+    def latency(self) -> float:
+        """Delivery minus send time (meaningful after delivery)."""
+        return self.delivered_at - self.sent_at

@@ -1,0 +1,43 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the substrate every other subsystem of the EEVFS
+reproduction runs on.  It provides a small but complete generator-coroutine
+event engine in the style popularised by SimPy, written from scratch:
+
+* :mod:`repro.sim.events` -- events, timeouts and condition events,
+* :mod:`repro.sim.engine` -- the :class:`Simulator` (clock + event heap),
+* :mod:`repro.sim.process` -- processes (generator coroutines) and interrupts,
+* :mod:`repro.sim.resources` -- FIFO resources, stores and containers,
+* :mod:`repro.sim.monitor` -- tally / time-weighted statistics collection,
+* :mod:`repro.sim.rng` -- named, reproducible random-number streams.
+
+The engine is fully deterministic: given the same seed and the same process
+structure, every run produces an identical event sequence.  All simulated
+time is in **seconds** (float).
+"""
+
+from repro.sim.engine import Simulator, StopSimulation
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Interrupt, Process
+from repro.sim.resources import Container, PriorityResource, Resource, Store
+from repro.sim.monitor import Recorder, TallyStat, TimeWeightedStat
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Event",
+    "Interrupt",
+    "PriorityResource",
+    "Process",
+    "RandomStreams",
+    "Recorder",
+    "Resource",
+    "Simulator",
+    "StopSimulation",
+    "Store",
+    "TallyStat",
+    "Timeout",
+    "TimeWeightedStat",
+]

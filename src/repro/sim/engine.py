@@ -1,0 +1,175 @@
+"""The simulation engine: clock, event heap, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, Optional
+
+from repro.sim.events import AllOf, AnyOf, Event, PENDING, Timeout, URGENT
+from repro.sim.process import Process
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Simulator.run` when its ``until``
+    event triggers.  The event's value becomes the return value of ``run``.
+    """
+
+    def __init__(self, value: Any) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Simulator.step` when no events remain."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    The simulator owns the clock (:attr:`now`, in seconds) and a binary heap
+    of ``(time, priority, sequence, event)`` entries.  The sequence number
+    guarantees a total, reproducible order even for simultaneous events of
+    equal priority.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(3.0)
+            return "done"
+
+        proc = sim.process(worker(sim))
+        sim.run()
+        assert proc.value == "done"
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        #: The process currently being resumed (used by Interrupt plumbing).
+        self.active_process: Optional[Process] = None
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        """Enqueue *event* to be processed ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay!r})")
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    @property
+    def queue_size(self) -> int:
+        """Number of events currently scheduled (diagnostic)."""
+        return len(self._heap)
+
+    # -- event factories -----------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event bound to this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that succeeds after *delay* seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start *generator* as a process; returns its completion event."""
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Condition that succeeds when any of *events* succeeds."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Condition that succeeds when all of *events* have succeeded."""
+        return AllOf(self, events)
+
+    # -- run loop ------------------------------------------------------------
+
+    def step(self) -> None:
+        """Process exactly one event.
+
+        Raises :class:`EmptySchedule` when no events remain, and re-raises
+        the exception of any *unhandled* failed event so errors in processes
+        cannot vanish silently.
+        """
+        try:
+            self._now, _, _, event = heapq.heappop(self._heap)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:  # pragma: no cover - defensive; never rescheduled
+            return
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # Nobody waited on this failure: surface it.
+            exc = event._exc
+            assert exc is not None
+            raise exc
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run until the heap drains, time *until* passes, or event fires.
+
+        * ``until=None`` -- run to exhaustion, return ``None``;
+        * ``until=<float>`` -- run until the clock reaches that time;
+        * ``until=<Event>`` -- run until that event is processed and return
+          its value (raising the event's exception if it failed).
+        """
+        stop: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop = until
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(
+                        f"until={at!r} is in the past (now={self._now!r})"
+                    )
+                # An URGENT event at `at` beats all normal events at `at`,
+                # giving run(until=t) exclusive-of-t semantics.
+                stop = Event(self)
+                stop._ok = True
+                stop._value = None
+                self.schedule(stop, delay=at - self._now, priority=URGENT)
+            assert stop.callbacks is not None
+            stop.callbacks.append(self._stop_callback)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as end:
+            return end.value
+        except EmptySchedule:
+            if stop is not None and stop._value is PENDING:
+                # The caller's event never fired; advance the clock no
+                # further and report nothing happened.
+                return None
+            return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        if event._ok:
+            raise StopSimulation(event._value)
+        event._defused = True
+        assert event._exc is not None
+        raise event._exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator now={self._now!r} queued={len(self._heap)}>"

@@ -1,0 +1,215 @@
+"""Statistics collection for simulations.
+
+Three collectors cover everything the reproduction measures:
+
+* :class:`TallyStat` -- per-observation statistics (response times) using
+  Welford's online algorithm, with optional sample retention for
+  percentiles;
+* :class:`TimeWeightedStat` -- piecewise-constant level integrated over
+  simulated time (queue lengths, power draw -> energy);
+* :class:`Recorder` -- a raw ``(time, value)`` series for plotting/exports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Optional
+
+
+class TallyStat:
+    """Streaming mean/variance/min/max over discrete observations."""
+
+    def __init__(self, name: str = "", keep_samples: bool = False) -> None:
+        self.name = name
+        self.keep_samples = keep_samples
+        self.samples: list[float] = []
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError(f"{self.name or 'TallyStat'}: NaN observation")
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+        if self.keep_samples:
+            self.samples.append(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Add several observations."""
+        for value in values:
+            self.record(value)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (NaN if empty)."""
+        return self._mean if self._n else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (NaN with < 2 observations)."""
+        return self._m2 / (self._n - 1) if self._n >= 2 else math.nan
+
+    @property
+    def std(self) -> float:
+        var = self.variance
+        return math.sqrt(var) if not math.isnan(var) else math.nan
+
+    @property
+    def total(self) -> float:
+        return self._mean * self._n
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self._n else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self._n else math.nan
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile; requires ``keep_samples=True``."""
+        if not self.keep_samples:
+            raise RuntimeError("percentile() requires keep_samples=True")
+        if not self.samples:
+            return math.nan
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile q={q!r} outside [0, 100]")
+        data = sorted(self.samples)
+        if len(data) == 1:
+            return data[0]
+        pos = (len(data) - 1) * q / 100.0
+        lo = int(math.floor(pos))
+        hi = int(math.ceil(pos))
+        frac = pos - lo
+        return data[lo] * (1.0 - frac) + data[hi] * frac
+
+    def as_dict(self) -> dict[str, Any]:
+        """Summary suitable for JSON export."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "total": self.total,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TallyStat {self.name!r} n={self._n} mean={self.mean:.4g}>"
+
+
+class TimeWeightedStat:
+    """Integral and time-average of a piecewise-constant level.
+
+    Drive it with :meth:`update` at every level change; the integral between
+    updates accrues at the previous level.  The main use in this project is
+    turning instantaneous power (W) into energy (J).
+    """
+
+    def __init__(self, name: str = "", time: float = 0.0, level: float = 0.0) -> None:
+        self.name = name
+        self._start = float(time)
+        self._last_time = float(time)
+        self._level = float(level)
+        self._integral = 0.0
+        self._min = self._level
+        self._max = self._level
+
+    @property
+    def level(self) -> float:
+        """Current level."""
+        return self._level
+
+    def update(self, time: float, level: float) -> None:
+        """Advance to *time* and set a new level from there onwards."""
+        time = float(time)
+        if time < self._last_time:
+            raise ValueError(
+                f"{self.name or 'TimeWeightedStat'}: time moved backwards "
+                f"({time!r} < {self._last_time!r})"
+            )
+        self._integral += self._level * (time - self._last_time)
+        self._last_time = time
+        self._level = float(level)
+        self._min = min(self._min, self._level)
+        self._max = max(self._max, self._level)
+
+    def add(self, time: float, delta: float) -> None:
+        """Shift the level by *delta* at *time* (convenience)."""
+        self.update(time, self._level + delta)
+
+    def integral(self, until: Optional[float] = None) -> float:
+        """Integral of the level from start to *until* (default: last update)."""
+        if until is None:
+            return self._integral
+        until = float(until)
+        if until < self._last_time:
+            raise ValueError(f"until={until!r} precedes last update {self._last_time!r}")
+        return self._integral + self._level * (until - self._last_time)
+
+    def time_average(self, until: Optional[float] = None) -> float:
+        """Average level over the observation window (NaN on empty window)."""
+        end = self._last_time if until is None else float(until)
+        span = end - self._start
+        if span <= 0:
+            return math.nan
+        return self.integral(until) / span
+
+    @property
+    def minimum(self) -> float:
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        return self._max
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<TimeWeightedStat {self.name!r} level={self._level:.4g} "
+            f"integral={self._integral:.4g}>"
+        )
+
+
+class Recorder:
+    """A raw, append-only ``(time, value)`` series."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[Any] = []
+
+    def record(self, time: float, value: Any) -> None:
+        """Append one sample; time must be non-decreasing."""
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"{self.name or 'Recorder'}: time moved backwards "
+                f"({time!r} < {self.times[-1]!r})"
+            )
+        self.times.append(float(time))
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self):
+        return iter(zip(self.times, self.values))
+
+    def last(self) -> tuple[float, Any]:
+        """Most recent (time, value) pair."""
+        if not self.times:
+            raise IndexError("recorder is empty")
+        return self.times[-1], self.values[-1]

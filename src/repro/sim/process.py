@@ -1,0 +1,164 @@
+"""Processes: generator coroutines driven by the event engine.
+
+A process wraps a Python generator.  Each ``yield`` hands the engine an
+:class:`~repro.sim.events.Event`; the generator resumes (with the event's
+value sent in, or its exception thrown in) when that event is processed.
+A process is itself an event that triggers when the generator returns or
+raises, so processes can wait on each other directly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.events import Event, PENDING, URGENT
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The interrupted process may catch it and continue; the event it was
+    waiting on remains valid and may be re-yielded.
+    """
+
+    @property
+    def cause(self) -> Any:
+        """The ``cause`` argument passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+    def __str__(self) -> str:
+        return f"Interrupt({self.cause!r})"
+
+
+class Process(Event):
+    """Execution wrapper for a generator; also its completion event."""
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"process requires a generator, got {generator!r}")
+        super().__init__(sim)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", type(generator).__name__)
+        #: The event this process currently waits on (None before start /
+        #: after completion).
+        self._target: Optional[Event] = None
+
+        # Kick-off event: resume the generator for the first time "now".
+        start = Event(sim)
+        start._ok = True
+        start._value = None
+        assert start.callbacks is not None
+        start.callbacks.append(self._resume)
+        sim.schedule(start, delay=0.0, priority=URGENT)
+        self._target = start
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is currently waiting for."""
+        return self._target
+
+    # -- control --------------------------------------------------------------
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        It is an error to interrupt a completed process or a process from
+        within itself.
+        """
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self.name} has terminated and cannot be interrupted")
+        if self is self.sim.active_process:
+            raise RuntimeError("a process cannot interrupt itself")
+
+        interruption = Event(self.sim)
+        interruption._ok = False
+        interruption._exc = Interrupt(cause)
+        interruption._value = interruption._exc
+        interruption._defused = True  # delivered via throw(), never unhandled
+        assert interruption.callbacks is not None
+        interruption.callbacks.append(self._deliver_interrupt)
+        self.sim.schedule(interruption, delay=0.0, priority=URGENT)
+
+    def _deliver_interrupt(self, interruption: Event) -> None:
+        if self._value is not PENDING:
+            return  # process already finished before delivery
+        # Detach from the event we were waiting on, then resume with the
+        # failed interruption event so Interrupt is thrown into the
+        # generator.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        self._resume(interruption)
+
+    # -- engine plumbing --------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator until it yields a pending event or ends."""
+        sim = self.sim
+        sim.active_process = self
+        while True:
+            try:
+                if event._ok:
+                    target = self._generator.send(event._value)
+                else:
+                    # The process is now responsible for the failure.
+                    event._defused = True
+                    assert event._exc is not None
+                    target = self._generator.throw(event._exc)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                sim.schedule(self, delay=0.0)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._exc = exc
+                self._value = exc
+                sim.schedule(self, delay=0.0)
+                break
+
+            bad: Optional[BaseException] = None
+            if not isinstance(target, Event):
+                bad = TypeError(f"process yielded a non-event: {target!r}")
+            elif target.sim is not sim:
+                bad = ValueError("yielded an event from a different simulator")
+            if bad is not None:
+                # Deliver via a synthetic failed event so the try/except at
+                # the top of the loop handles generator completion too.
+                synthetic = Event(sim)
+                synthetic._ok = False
+                synthetic._exc = bad
+                synthetic._value = bad
+                synthetic.callbacks = None
+                event = synthetic
+                continue
+
+            if target.callbacks is not None:
+                # Not yet processed (pending, or triggered and sitting in
+                # the heap): wait for it.
+                target.callbacks.append(self._resume)
+                self._target = target
+                break
+            # Already processed: consume immediately without a heap trip.
+            event = target
+
+        self._target = None if self._value is not PENDING else self._target
+        sim.active_process = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if not self.is_alive else "alive"
+        return f"<Process {self.name} {state}>"

@@ -1,0 +1,313 @@
+"""Shared resources: FIFO servers, object stores, and level containers.
+
+These follow the classic discrete-event pattern: a request is an event that
+succeeds when the resource grants it.  All queues are strictly FIFO (with an
+optional priority key for :class:`PriorityResource`), which keeps service
+order deterministic and auditable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    Usable as a context manager::
+
+        with resource.request() as req:
+            yield req
+            ... critical section ...
+    """
+
+    __slots__ = ("resource", "priority", "_key")
+
+    def __init__(self, resource: "Resource", priority: int = 0) -> None:
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.priority = priority
+        self._key = (priority, resource._ticket())
+        resource._queue.append(self)
+        resource._queue.sort(key=lambda r: r._key)
+        resource._trigger_grants()
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw an ungranted request from the wait queue."""
+        if self in self.resource._queue:
+            self.resource._queue.remove(self)
+
+
+class Resource:
+    """A server with ``capacity`` identical slots and a FIFO wait queue."""
+
+    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        self.sim = sim
+        self.capacity = capacity
+        self._users: list[Request] = []
+        self._queue: list[Request] = []
+        self._tickets = 0
+
+    def _ticket(self) -> int:
+        self._tickets += 1
+        return self._tickets
+
+    # -- public API -----------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim a slot; the returned event succeeds when granted."""
+        return Request(self, priority)
+
+    def release(self, request: Request) -> None:
+        """Return a slot (or withdraw an ungranted request)."""
+        if request in self._users:
+            self._users.remove(request)
+            self._trigger_grants()
+        else:
+            request.cancel()
+
+    # -- internals --------------------------------------------------------------
+
+    def _trigger_grants(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            request = self._queue.pop(0)
+            self._users.append(request)
+            request.succeed(request)
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose queue orders by ``priority`` (low first).
+
+    Ties break FIFO via the ticket number, so behaviour stays deterministic.
+    """
+
+    def request(self, priority: int = 0) -> Request:
+        return Request(self, priority)
+
+
+class StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.sim)
+        self.item = item
+        store._putters.append(self)
+        store._trigger()
+
+
+class StoreGet(Event):
+    __slots__ = ("filter",)
+
+    def __init__(self, store: "Store", filter: Optional[Callable[[Any], bool]]) -> None:
+        super().__init__(store.sim)
+        self.filter = filter
+        store._getters.append(self)
+        store._trigger()
+
+
+class Store:
+    """A FIFO buffer of Python objects with optional capacity and filtering.
+
+    ``put(item)`` blocks while the store is full; ``get()`` blocks while it
+    is empty.  ``get(filter=...)`` retrieves the first item matching the
+    predicate (a filter-store in classic terminology).
+    """
+
+    def __init__(self, sim: "Simulator", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity!r}")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: list[Any] = []
+        self._putters: list[StorePut] = []
+        self._getters: list[StoreGet] = []
+
+    @property
+    def size(self) -> int:
+        """Number of items currently buffered."""
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Insert *item*; event succeeds once capacity allows."""
+        return StorePut(self, item)
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        """Remove and return an item; event succeeds once one is available."""
+        return StoreGet(self, filter)
+
+    def _trigger(self) -> None:
+        # Alternate admitting puts and satisfying gets until quiescent.
+        progress = True
+        while progress:
+            progress = False
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.pop(0)
+                self.items.append(put.item)
+                put.succeed()
+                progress = True
+            for get in list(self._getters):
+                idx = self._match(get)
+                if idx is None:
+                    continue
+                self._getters.remove(get)
+                get.succeed(self.items.pop(idx))
+                progress = True
+
+    def _match(self, get: StoreGet) -> Optional[int]:
+        if get.filter is None:
+            return 0 if self.items else None
+        for i, item in enumerate(self.items):
+            if get.filter(item):
+                return i
+        return None
+
+    def drain(self) -> list:
+        """Remove and return every buffered item (pending puts unaffected)."""
+        items, self.items = self.items, []
+        return items
+
+
+class PriorityStore(Store):
+    """A :class:`Store` whose getters receive the lowest-priority-number
+    item first (ties FIFO).
+
+    Items are ranked by ``priority_key(item)``; insertion order breaks
+    ties, so behaviour stays deterministic.  Filtered gets still scan in
+    priority order.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        capacity: float = float("inf"),
+        priority_key: Optional[Callable[[Any], float]] = None,
+    ) -> None:
+        super().__init__(sim, capacity=capacity)
+        self._priority_key = priority_key if priority_key is not None else (lambda x: x)
+        self._insertions = 0
+        #: Parallel list of (priority, insertion#) sort keys for `items`.
+        self._keys: list[tuple] = []
+
+    def _trigger(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.pop(0)
+                key = (self._priority_key(put.item), self._insertions)
+                self._insertions += 1
+                # Insert in sorted position (stable by insertion number).
+                index = 0
+                while index < len(self._keys) and self._keys[index] <= key:
+                    index += 1
+                self.items.insert(index, put.item)
+                self._keys.insert(index, key)
+                put.succeed()
+                progress = True
+            for get in list(self._getters):
+                index = self._match(get)
+                if index is None:
+                    continue
+                self._getters.remove(get)
+                self._keys.pop(index)
+                get.succeed(self.items.pop(index))
+                progress = True
+
+    def drain(self) -> list:
+        self._keys.clear()
+        return super().drain()
+
+
+class ContainerPut(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise ValueError(f"put amount must be > 0, got {amount!r}")
+        super().__init__(container.sim)
+        self.amount = amount
+        container._putters.append(self)
+        container._trigger()
+
+
+class ContainerGet(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise ValueError(f"get amount must be > 0, got {amount!r}")
+        super().__init__(container.sim)
+        self.amount = amount
+        container._getters.append(self)
+        container._trigger()
+
+
+class Container:
+    """A continuous-level reservoir (bytes, joules, ...) with bounds."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity!r}")
+        if not 0 <= init <= capacity:
+            raise ValueError(f"init={init!r} outside [0, {capacity!r}]")
+        self.sim = sim
+        self.capacity = capacity
+        self._level = float(init)
+        self._putters: list[ContainerPut] = []
+        self._getters: list[ContainerGet] = []
+
+    @property
+    def level(self) -> float:
+        """Current amount stored."""
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        """Add *amount*; event succeeds once it fits under capacity."""
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        """Withdraw *amount*; event succeeds once the level covers it."""
+        return ContainerGet(self, amount)
+
+    def _trigger(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters and self._level + self._putters[0].amount <= self.capacity:
+                put = self._putters.pop(0)
+                self._level += put.amount
+                put.succeed()
+                progress = True
+            if self._getters and self._getters[0].amount <= self._level:
+                get = self._getters.pop(0)
+                self._level -= get.amount
+                get.succeed(get.amount)
+                progress = True

@@ -1,0 +1,54 @@
+"""Workload substrate: file catalogs, request traces and generators.
+
+EEVFS is evaluated by replaying file-access traces (§IV-A: "The prototype
+implementation uses a trace to replay file access patterns").  This package
+provides:
+
+* :mod:`repro.traces.model`     -- :class:`FileSpec`, :class:`TraceRequest`
+  and :class:`Trace`,
+* :mod:`repro.traces.synthetic` -- the Table-II synthetic generator
+  (Poisson-MU file popularity, fixed inter-arrival delay, data sizes),
+* :mod:`repro.traces.berkeley`  -- a Berkeley-web-trace-like generator
+  (documented substitution for the 1998 UCB trace used in Fig. 6),
+* :mod:`repro.traces.logio`     -- the append-only access log and trace
+  file round-tripping,
+* :mod:`repro.traces.stats`     -- popularity and skew statistics.
+"""
+
+from repro.traces.model import FileSpec, RequestOp, Trace, TraceRequest
+from repro.traces.synthetic import SyntheticWorkload, generate_synthetic_trace
+from repro.traces.berkeley import BerkeleyWebWorkload, generate_berkeley_like_trace
+from repro.traces.nonstationary import DriftingWorkload, generate_drifting_trace
+from repro.traces.diurnal import DiurnalWorkload, generate_diurnal_trace
+from repro.traces.importers import read_msr_trace, read_spc_trace
+from repro.traces.logio import AccessLog, read_trace, write_trace
+from repro.traces.stats import (
+    access_counts,
+    coverage_of_top_k,
+    popularity_ranking,
+    working_set_size,
+)
+
+__all__ = [
+    "AccessLog",
+    "BerkeleyWebWorkload",
+    "DiurnalWorkload",
+    "DriftingWorkload",
+    "FileSpec",
+    "generate_diurnal_trace",
+    "generate_drifting_trace",
+    "read_msr_trace",
+    "read_spc_trace",
+    "RequestOp",
+    "SyntheticWorkload",
+    "Trace",
+    "TraceRequest",
+    "access_counts",
+    "coverage_of_top_k",
+    "generate_berkeley_like_trace",
+    "generate_synthetic_trace",
+    "popularity_ranking",
+    "read_trace",
+    "write_trace",
+    "working_set_size",
+]

@@ -1,0 +1,146 @@
+"""Unit tests for cluster and policy configuration (Tables I/II)."""
+
+import pytest
+
+from repro.core.config import (
+    ClusterSpec,
+    EEVFSConfig,
+    NodeSpec,
+    PARAMETER_GRID,
+    default_cluster,
+)
+from repro.disk.specs import ATA_80GB_TYPE1, ATA_80GB_TYPE2
+from repro.net.link import FAST_ETHERNET_BPS, GIGABIT_ETHERNET_BPS
+
+
+class TestParameterGrid:
+    """Table II, verbatim."""
+
+    def test_data_sizes(self):
+        assert PARAMETER_GRID["data_size_mb"] == (1, 10, 25, 50)
+
+    def test_mu_values(self):
+        assert PARAMETER_GRID["mu"] == (1, 10, 100, 1000)
+
+    def test_inter_arrival(self):
+        assert PARAMETER_GRID["inter_arrival_ms"] == (0, 350, 700, 1000)
+
+    def test_prefetch_files(self):
+        assert PARAMETER_GRID["prefetch_files"] == (10, 40, 70, 100)
+
+    def test_idle_threshold(self):
+        assert PARAMETER_GRID["idle_threshold_s"] == (5,)
+
+
+class TestNodeSpec:
+    def test_valid(self):
+        NodeSpec(name="n1", disk_spec=ATA_80GB_TYPE1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": ""},
+            {"n_data_disks": 0},
+            {"nic_bps": 0},
+            {"base_power_w": -1},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        base = dict(name="n1", disk_spec=ATA_80GB_TYPE1)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            NodeSpec(**base)
+
+    def test_buffer_spec_defaults_to_data_spec(self):
+        spec = NodeSpec(name="n1", disk_spec=ATA_80GB_TYPE1)
+        assert spec.buffer_spec is ATA_80GB_TYPE1
+
+    def test_buffer_spec_override(self):
+        spec = NodeSpec(
+            name="n1", disk_spec=ATA_80GB_TYPE1, buffer_disk_spec=ATA_80GB_TYPE2
+        )
+        assert spec.buffer_spec is ATA_80GB_TYPE2
+
+
+class TestClusterSpec:
+    def test_default_cluster_is_the_testbed(self):
+        cluster = default_cluster()
+        assert cluster.n_nodes == 8
+        type1 = [n for n in cluster.storage_nodes if n.disk_spec is ATA_80GB_TYPE1]
+        type2 = [n for n in cluster.storage_nodes if n.disk_spec is ATA_80GB_TYPE2]
+        assert len(type1) == 4 and len(type2) == 4
+        # Table I NICs: type 1 gigabit, type 2 fast ethernet.
+        assert all(n.nic_bps == GIGABIT_ETHERNET_BPS for n in type1)
+        assert all(n.nic_bps == FAST_ETHERNET_BPS for n in type2)
+
+    def test_default_disks_per_node(self):
+        cluster = default_cluster(data_disks_per_node=3)
+        assert cluster.n_data_disks == 24
+
+    def test_custom_split(self):
+        cluster = default_cluster(n_type1=2, n_type2=1)
+        assert cluster.n_nodes == 3
+
+    def test_invalid_split(self):
+        with pytest.raises(ValueError):
+            default_cluster(n_type1=0, n_type2=0)
+
+    def test_unique_names_enforced(self):
+        node = NodeSpec(name="x", disk_spec=ATA_80GB_TYPE1)
+        with pytest.raises(ValueError):
+            ClusterSpec(storage_nodes=(node, node))
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(storage_nodes=())
+
+    def test_negative_jitter_rejected(self):
+        node = NodeSpec(name="x", disk_spec=ATA_80GB_TYPE1)
+        with pytest.raises(ValueError):
+            ClusterSpec(storage_nodes=(node,), spinup_jitter=-0.1)
+
+    def test_zero_outstanding_rejected(self):
+        node = NodeSpec(name="x", disk_spec=ATA_80GB_TYPE1)
+        with pytest.raises(ValueError):
+            ClusterSpec(storage_nodes=(node,), client_max_outstanding=0)
+
+
+class TestEEVFSConfig:
+    def test_paper_defaults(self):
+        config = EEVFSConfig()
+        assert config.prefetch_enabled
+        assert config.prefetch_files == 70
+        assert config.idle_threshold_s == 5.0
+        assert config.use_hints
+        assert config.wake_ahead
+        assert config.window_predictor == "sequence"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"prefetch_files": -1},
+            {"idle_threshold_s": -1},
+            {"buffer_capacity_bytes": -1},
+            {"server_overhead_s": -1},
+            {"wake_ahead": True, "use_hints": False},
+            {"window_predictor": "oracle"},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            EEVFSConfig(**kwargs)
+
+    def test_as_npf_toggles_prefetch_only(self):
+        config = EEVFSConfig(prefetch_files=40)
+        npf = config.as_npf()
+        assert not npf.prefetch_enabled
+        assert npf.prefetch_files == 40
+        assert config.prefetch_enabled  # original untouched
+
+    def test_as_pf_round_trip(self):
+        config = EEVFSConfig().as_npf().as_pf()
+        assert config.prefetch_enabled
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            EEVFSConfig().prefetch_files = 10

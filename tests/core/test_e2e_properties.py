@@ -1,0 +1,133 @@
+"""Hypothesis-driven end-to-end invariants of the whole cluster.
+
+Small randomized workloads and configurations; the invariants must hold
+for every draw:
+
+* every request is answered exactly once (served or explicitly failed),
+* energy accounting is bounded by physical power envelopes,
+* PF's buffer hit count equals the trace's coverage of the prefetch set,
+* identical inputs give identical outputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import EEVFSConfig, default_cluster
+from repro.core.filesystem import EEVFSCluster
+from repro.traces.synthetic import MB, SyntheticWorkload, generate_synthetic_trace
+
+SLOW = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def workloads(draw):
+    return SyntheticWorkload(
+        n_files=draw(st.integers(min_value=10, max_value=200)),
+        n_requests=draw(st.integers(min_value=1, max_value=80)),
+        data_size_bytes=draw(st.integers(min_value=0, max_value=8 * MB)),
+        mu=draw(st.floats(min_value=1.0, max_value=500.0)),
+        inter_arrival_s=draw(st.floats(min_value=0.0, max_value=1.0)),
+        write_fraction=draw(st.sampled_from([0.0, 0.0, 0.3])),
+    )
+
+
+@st.composite
+def configs(draw):
+    return EEVFSConfig(
+        prefetch_enabled=draw(st.booleans()),
+        prefetch_files=draw(st.integers(min_value=0, max_value=60)),
+        idle_threshold_s=draw(st.floats(min_value=0.5, max_value=20.0)),
+        use_hints=draw(st.booleans()),
+        wake_ahead=False,
+        stripe_width=draw(st.integers(min_value=1, max_value=2)),
+        window_predictor=draw(st.sampled_from(["sequence", "time"])),
+    )
+
+
+@SLOW
+@given(workloads(), configs(), st.integers(min_value=0, max_value=100))
+def test_every_request_answered_and_energy_bounded(workload, config, seed):
+    trace = generate_synthetic_trace(workload, rng=np.random.default_rng(seed))
+    cluster = EEVFSCluster(
+        cluster=default_cluster(n_type1=1, n_type2=1),
+        config=config,
+        seed=seed,
+    )
+    result = cluster.run(trace)
+
+    # Conservation: every trace request answered exactly once.
+    assert result.requests_total + result.requests_failed == trace.n_requests
+    assert result.requests_failed == 0  # no failures injected here
+    assert result.buffer_hits + result.data_disk_hits + result.writes_buffered + \
+        result.writes_direct == trace.n_requests
+
+    # Energy bounded by the cluster's physical power envelope.
+    duration = result.end_s
+    max_power = sum(
+        node.base_power_w
+        + (node.n_data_disks + 1) * max(
+            node.disk_spec.power_active_w,
+            node.disk_spec.spinup_power_w,
+            node.disk_spec.spindown_power_w,
+        )
+        for node in cluster.cluster.storage_nodes
+    )
+    min_power = sum(
+        node.base_power_w + (node.n_data_disks + 1) * node.disk_spec.power_standby_w
+        for node in cluster.cluster.storage_nodes
+    )
+    assert result.energy_with_setup_j <= max_power * duration + 1e-6
+    assert result.energy_with_setup_j >= min_power * duration - 1e-6
+
+    # Responses are causal and finite.
+    if result.requests_total:
+        assert result.response_times.minimum > 0.0
+
+
+@SLOW
+@given(workloads(), st.integers(min_value=0, max_value=50))
+def test_hit_count_matches_prefetch_coverage(workload, seed):
+    """PF's buffer hits must equal the number of read requests whose file
+    is in the prefetch set -- no over- or under-counting."""
+    trace = generate_synthetic_trace(workload, rng=np.random.default_rng(seed))
+    cluster = EEVFSCluster(
+        cluster=default_cluster(n_type1=1, n_type2=1),
+        config=EEVFSConfig(prefetch_files=20, write_buffering=False),
+        seed=seed,
+    )
+    result = cluster.run(trace)
+    prefetched = {
+        file_id for node in cluster.nodes for file_id in node.metadata.prefetched_files()
+    }
+    from repro.traces.model import RequestOp
+
+    expected_hits = sum(
+        1
+        for r in trace.requests
+        if r.op is RequestOp.READ and r.file_id in prefetched
+    )
+    assert result.buffer_hits == expected_hits
+
+
+@SLOW
+@given(workloads(), st.integers(min_value=0, max_value=20))
+def test_bit_determinism(workload, seed):
+    trace = generate_synthetic_trace(workload, rng=np.random.default_rng(seed))
+
+    def run():
+        return EEVFSCluster(
+            cluster=default_cluster(n_type1=1, n_type2=1),
+            config=EEVFSConfig(),
+            seed=seed,
+        ).run(trace)
+
+    a, b = run(), run()
+    assert a.energy_j == b.energy_j
+    assert a.transitions == b.transitions
+    assert a.response_times.samples == b.response_times.samples

@@ -1,0 +1,68 @@
+"""Tests for per-request latency decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core import EEVFSConfig, run_eevfs
+from repro.traces import generate_synthetic_trace
+from repro.traces.synthetic import MB, SyntheticWorkload
+
+
+@pytest.fixture(scope="module")
+def pf_result():
+    trace = generate_synthetic_trace(
+        SyntheticWorkload(n_requests=300), rng=np.random.default_rng(1)
+    )
+    return run_eevfs(trace, EEVFSConfig())
+
+
+class TestLatencyComponents:
+    def test_components_present(self, pf_result):
+        assert set(pf_result.latency_components) == {
+            "disk_s",
+            "node_other_s",
+            "network_server_s",
+        }
+
+    def test_components_sum_to_response(self, pf_result):
+        components = pf_result.latency_components
+        total = sum(stat.mean for stat in components.values())
+        assert total == pytest.approx(pf_result.mean_response_s, rel=0.01)
+
+    def test_all_reads_decomposed(self, pf_result):
+        assert (
+            pf_result.latency_components["disk_s"].count == pf_result.requests_total
+        )
+
+    def test_components_nonnegative(self, pf_result):
+        for stat in pf_result.latency_components.values():
+            assert stat.minimum >= 0.0
+
+    def test_spinups_show_up_in_disk_component(self):
+        """PF's penalty vs NPF must be visible as disk time (spin-up
+        waits), not network time."""
+        trace = generate_synthetic_trace(
+            SyntheticWorkload(n_requests=300), rng=np.random.default_rng(1)
+        )
+        pf = run_eevfs(trace, EEVFSConfig())
+        npf = run_eevfs(trace, EEVFSConfig(prefetch_enabled=False))
+        disk_delta = (
+            pf.latency_components["disk_s"].mean
+            - npf.latency_components["disk_s"].mean
+        )
+        network_delta = abs(
+            pf.latency_components["network_server_s"].mean
+            - npf.latency_components["network_server_s"].mean
+        )
+        assert disk_delta > 0
+        assert disk_delta > 3 * network_delta
+
+    def test_network_dominates_large_files_on_slow_nics(self):
+        """At 25 MB, type-2 nodes' 100 Mb/s NICs dwarf the disk time."""
+        trace = generate_synthetic_trace(
+            SyntheticWorkload(n_requests=200, data_size_bytes=25 * MB),
+            rng=np.random.default_rng(2),
+        )
+        result = run_eevfs(trace, EEVFSConfig(prefetch_enabled=False))
+        components = result.latency_components
+        assert components["network_server_s"].mean > components["disk_s"].mean

@@ -1,0 +1,94 @@
+"""Unit tests for prefetch planning (§III-C, §IV-B)."""
+
+import pytest
+
+from repro.core.metadata import NodeMetadata
+from repro.core.prefetch import (
+    PrefetchStats,
+    admit_prefetch_files,
+    plan_prefetch,
+)
+
+
+def placement_for(ranking, nodes):
+    from repro.core.placement import place_round_robin
+
+    return place_round_robin(ranking, nodes)
+
+
+class TestPlanPrefetch:
+    def test_top_k_split_by_node(self):
+        ranking = [5, 3, 8, 1, 9, 2]
+        placement = placement_for(ranking, ["a", "b"])
+        plan = plan_prefetch(ranking, 4, placement)
+        assert plan.files_for("a") == (5, 8)
+        assert plan.files_for("b") == (3, 1)
+        assert plan.total_files == 4
+        assert plan.requested_k == 4
+
+    def test_k_zero_is_empty(self):
+        plan = plan_prefetch([1, 2], 0, {1: "a", 2: "a"})
+        assert plan.total_files == 0
+        assert plan.files_for("a") == ()
+
+    def test_k_larger_than_catalog(self):
+        plan = plan_prefetch([1, 2], 10, {1: "a", 2: "b"})
+        assert plan.total_files == 2
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            plan_prefetch([1], -1, {1: "a"})
+
+    def test_missing_placement_raises(self):
+        with pytest.raises(KeyError):
+            plan_prefetch([1, 2], 2, {1: "a"})
+
+    def test_per_node_order_preserves_popularity(self):
+        ranking = [10, 20, 30, 40, 50, 60]
+        placement = placement_for(ranking, ["a", "b", "c"])
+        plan = plan_prefetch(ranking, 6, placement)
+        assert plan.files_for("a") == (10, 40)  # rank order within node
+
+
+class TestAdmitPrefetchFiles:
+    def test_admits_in_order_and_marks(self):
+        meta = NodeMetadata(n_data_disks=1)
+        for fid in (1, 2, 3):
+            meta.create(fid, 100)
+        admitted = admit_prefetch_files([3, 1], meta)
+        assert admitted == [3, 1]
+        assert meta.is_prefetched(3) and meta.is_prefetched(1)
+        assert not meta.is_prefetched(2)
+
+    def test_capacity_greedy_skip(self):
+        meta = NodeMetadata(n_data_disks=1, buffer_capacity_bytes=150)
+        meta.create(1, 100)
+        meta.create(2, 100)  # will not fit after file 1
+        meta.create(3, 50)  # fits in the remainder
+        admitted = admit_prefetch_files([1, 2, 3], meta)
+        assert admitted == [1, 3]
+
+    def test_unknown_files_skipped(self):
+        meta = NodeMetadata(n_data_disks=1)
+        meta.create(1, 10)
+        assert admit_prefetch_files([99, 1], meta) == [1]
+
+    def test_already_prefetched_skipped(self):
+        meta = NodeMetadata(n_data_disks=1)
+        meta.create(1, 10)
+        meta.mark_prefetched(1)
+        assert admit_prefetch_files([1], meta) == []
+
+
+class TestPrefetchStats:
+    def test_merge_accumulates(self):
+        total = PrefetchStats()
+        a = PrefetchStats(files_requested=3, files_copied=2, bytes_copied=200, duration_s=5.0)
+        b = PrefetchStats(files_requested=1, files_copied=1, bytes_copied=50, duration_s=9.0, skipped_capacity=1)
+        total.merge(a)
+        total.merge(b)
+        assert total.files_requested == 4
+        assert total.files_copied == 3
+        assert total.bytes_copied == 250
+        assert total.duration_s == 9.0  # max, not sum (nodes run in parallel)
+        assert total.skipped_capacity == 1

@@ -1,0 +1,291 @@
+"""Unit tests for the simulated drive (SimDisk)."""
+
+import pytest
+
+from repro.disk import ATA_80GB_TYPE1, DiskState, RequestKind, SimDisk
+from repro.disk.specs import MB
+from repro.sim import Simulator
+
+SPEC = ATA_80GB_TYPE1
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def run_client(sim, gen):
+    proc = sim.process(gen)
+    sim.run()
+    return proc
+
+
+class TestService:
+    def test_single_request_latency(self, sim):
+        disk = SimDisk(sim, SPEC)
+        results = {}
+
+        def client():
+            req = disk.submit(10 * MB)
+            yield req.done
+            results["latency"] = sim.now - req.issued_at
+
+        run_client(sim, client())
+        expected = SPEC.positioning_s + 10 * MB / SPEC.bandwidth_bps
+        assert results["latency"] == pytest.approx(expected)
+
+    def test_requests_serve_fifo(self, sim):
+        disk = SimDisk(sim, SPEC)
+        finish = []
+
+        def client():
+            reqs = [disk.submit(1 * MB, tag=i) for i in range(3)]
+            for req in reqs:
+                result = yield req.done
+                finish.append((result.tag, sim.now))
+
+        run_client(sim, client())
+        tags = [tag for tag, _ in finish]
+        times = [t for _, t in finish]
+        assert tags == [0, 1, 2]
+        assert times == sorted(times)
+
+    def test_sequential_write_faster_than_random(self, sim):
+        disk = SimDisk(sim, SPEC)
+        results = {}
+
+        def client():
+            r1 = disk.submit(1 * MB, kind=RequestKind.WRITE, sequential=True)
+            yield r1.done
+            t_seq = sim.now
+            r2 = disk.submit(1 * MB, kind=RequestKind.WRITE, sequential=False)
+            yield r2.done
+            results["seq"] = t_seq
+            results["rand"] = sim.now - t_seq
+
+        run_client(sim, client())
+        assert results["seq"] < results["rand"]
+
+    def test_counters(self, sim):
+        disk = SimDisk(sim, SPEC)
+
+        def client():
+            for _ in range(4):
+                req = disk.submit(2 * MB)
+                yield req.done
+
+        run_client(sim, client())
+        assert disk.requests_served == 4
+        assert disk.bytes_served == 8 * MB
+        assert disk.inflight == 0
+        assert disk.service_times.count == 4
+
+    def test_state_returns_to_idle_after_service(self, sim):
+        disk = SimDisk(sim, SPEC)
+
+        def client():
+            req = disk.submit(1 * MB)
+            yield req.done
+
+        run_client(sim, client())
+        assert disk.state is DiskState.IDLE
+
+    def test_utilization_between_zero_and_one(self, sim):
+        disk = SimDisk(sim, SPEC)
+
+        def client():
+            req = disk.submit(50 * MB)
+            yield req.done
+            yield sim.timeout(1.0)
+
+        run_client(sim, client())
+        assert 0.0 < disk.utilization < 1.0
+
+
+class TestPowerManagement:
+    def test_request_sleep_from_idle(self, sim):
+        disk = SimDisk(sim, SPEC)
+
+        def client():
+            assert disk.request_sleep() is True
+            yield sim.timeout(SPEC.spindown_s + 0.01)
+            assert disk.state is DiskState.STANDBY
+
+        run_client(sim, client())
+
+    def test_request_sleep_refused_with_inflight_work(self, sim):
+        disk = SimDisk(sim, SPEC)
+
+        def client():
+            disk.submit(50 * MB)
+            assert disk.request_sleep() is False
+            yield sim.timeout(0.0)
+
+        run_client(sim, client())
+
+    def test_request_sleep_refused_when_already_sleeping(self, sim):
+        disk = SimDisk(sim, SPEC)
+
+        def client():
+            assert disk.request_sleep() is True
+            assert disk.request_sleep() is False  # already spinning down
+            yield sim.timeout(SPEC.spindown_s + 0.01)
+            assert disk.request_sleep() is False  # already in standby
+
+        run_client(sim, client())
+
+    def test_wake_from_standby(self, sim):
+        disk = SimDisk(sim, SPEC)
+
+        def client():
+            disk.request_sleep()
+            yield sim.timeout(SPEC.spindown_s + 0.01)
+            assert disk.wake() is True
+            yield sim.timeout(SPEC.spinup_s + 0.01)
+            assert disk.state is DiskState.IDLE
+
+        run_client(sim, client())
+
+    def test_wake_noop_when_spinning(self, sim):
+        disk = SimDisk(sim, SPEC)
+
+        def client():
+            assert disk.wake() is False
+            yield sim.timeout(0.0)
+
+        run_client(sim, client())
+
+    def test_spinup_penalty_on_standby_hit(self, sim):
+        disk = SimDisk(sim, SPEC)
+        results = {}
+
+        def client():
+            disk.request_sleep()
+            yield sim.timeout(SPEC.spindown_s + 10.0)
+            req = disk.submit(1 * MB)
+            yield req.done
+            results["latency"] = sim.now - req.issued_at
+
+        run_client(sim, client())
+        base = SPEC.positioning_s + 1 * MB / SPEC.bandwidth_bps
+        assert results["latency"] == pytest.approx(base + SPEC.spinup_s)
+
+    def test_request_during_spindown_waits_full_round_trip(self, sim):
+        """A request landing mid-spin-down pays the rest of the spin-down
+        plus the full spin-up -- the §VI-C anomaly mechanism."""
+        disk = SimDisk(sim, SPEC)
+        results = {}
+
+        def client():
+            disk.request_sleep()
+            yield sim.timeout(SPEC.spindown_s / 2.0)
+            req = disk.submit(1 * MB)
+            yield req.done
+            results["latency"] = sim.now - req.issued_at
+
+        run_client(sim, client())
+        base = SPEC.positioning_s + 1 * MB / SPEC.bandwidth_bps
+        expected = SPEC.spindown_s / 2.0 + SPEC.spinup_s + base
+        assert results["latency"] == pytest.approx(expected)
+
+    def test_transition_count_over_sleep_cycle(self, sim):
+        disk = SimDisk(sim, SPEC)
+
+        def client():
+            disk.request_sleep()
+            yield sim.timeout(SPEC.spindown_s + 5.0)
+            req = disk.submit(1 * MB)
+            yield req.done
+
+        run_client(sim, client())
+        assert disk.transition_count == 2  # one down, one up
+
+    def test_standby_saves_energy_over_long_window(self, sim):
+        def scenario(sleep):
+            s = Simulator()
+            disk = SimDisk(s, SPEC)
+
+            def client():
+                if sleep:
+                    disk.request_sleep()
+                yield s.timeout(600.0)
+
+            s.process(client())
+            s.run()
+            disk.finalize()
+            return disk.energy_j()
+
+        assert scenario(sleep=True) < scenario(sleep=False)
+
+    def test_short_window_sleep_wastes_energy(self):
+        """Sleeping for under the break-even window must cost extra --
+        validates that transition energy is actually charged."""
+
+        def scenario(sleep):
+            s = Simulator()
+            disk = SimDisk(s, SPEC)
+
+            def client():
+                if sleep:
+                    disk.request_sleep()
+                    yield s.timeout(SPEC.spindown_s + 0.2)
+                    disk.wake()
+                yield s.timeout(10.0)
+
+            s.process(client())
+            s.run(until=20.0)
+            disk.finalize()
+            return disk.energy_j()
+
+        assert scenario(sleep=True) > scenario(sleep=False)
+
+
+class TestIdleWatchdog:
+    def test_auto_sleep_fires_after_threshold(self, sim):
+        disk = SimDisk(sim, SPEC, auto_sleep_after=5.0)
+
+        def client():
+            req = disk.submit(1 * MB)
+            yield req.done
+            yield sim.timeout(5.0 + SPEC.spindown_s + 0.01)
+            assert disk.state is DiskState.STANDBY
+
+        run_client(sim, client())
+
+    def test_activity_resets_idle_timer(self, sim):
+        disk = SimDisk(sim, SPEC, auto_sleep_after=5.0)
+
+        def client():
+            req = disk.submit(1 * MB)
+            yield req.done
+            yield sim.timeout(3.0)
+            req = disk.submit(1 * MB)  # interrupts the countdown
+            yield req.done
+            yield sim.timeout(3.0)
+            assert disk.state is DiskState.IDLE  # timer restarted
+            yield sim.timeout(2.5 + SPEC.spindown_s)
+            assert disk.state is DiskState.STANDBY
+
+        run_client(sim, client())
+
+    def test_negative_threshold_rejected(self, sim):
+        with pytest.raises(ValueError):
+            SimDisk(sim, SPEC, auto_sleep_after=-1.0)
+
+    def test_no_watchdog_without_threshold(self, sim):
+        disk = SimDisk(sim, SPEC)
+
+        def client():
+            req = disk.submit(1 * MB)
+            yield req.done
+            yield sim.timeout(1000.0)
+            assert disk.state is DiskState.IDLE  # never slept
+
+        run_client(sim, client())
+
+
+class TestValidation:
+    def test_negative_request_size_rejected(self, sim):
+        disk = SimDisk(sim, SPEC)
+        with pytest.raises(ValueError):
+            disk.submit(-1)

@@ -1,0 +1,185 @@
+"""Tests for the multi-speed (DRPM) disk extension."""
+
+import pytest
+
+from repro.disk import DiskState, SimDisk
+from repro.disk.specs import ATA_80GB_TYPE1, LowSpeedProfile, MB, MULTISPEED_80GB
+from repro.sim import Simulator
+
+SPEC = MULTISPEED_80GB
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestLowSpeedProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LowSpeedProfile(
+                bandwidth_bps=0, power_active_w=5, power_idle_w=3,
+                shift_s=1, shift_energy_j=5,
+            )
+        with pytest.raises(ValueError):
+            LowSpeedProfile(
+                bandwidth_bps=1e6, power_active_w=3, power_idle_w=5,
+                shift_s=1, shift_energy_j=5,
+            )
+        with pytest.raises(ValueError):
+            LowSpeedProfile(
+                bandwidth_bps=1e6, power_active_w=5, power_idle_w=3,
+                shift_s=-1, shift_energy_j=5,
+            )
+
+    def test_shift_power(self):
+        profile = LowSpeedProfile(
+            bandwidth_bps=1e6, power_active_w=5, power_idle_w=3,
+            shift_s=2.0, shift_energy_j=10.0,
+        )
+        assert profile.shift_power_w == pytest.approx(5.0)
+
+    def test_spec_consistency_checks(self):
+        # Low speed must be slower and lower-power than full speed.
+        with pytest.raises(ValueError, match="slower"):
+            ATA_80GB_TYPE1.with_overrides(
+                low_speed=LowSpeedProfile(
+                    bandwidth_bps=ATA_80GB_TYPE1.bandwidth_bps,
+                    power_active_w=5, power_idle_w=3, shift_s=1, shift_energy_j=5,
+                )
+            )
+        with pytest.raises(ValueError, match="power"):
+            ATA_80GB_TYPE1.with_overrides(
+                low_speed=LowSpeedProfile(
+                    bandwidth_bps=1e6,
+                    power_active_w=20, power_idle_w=19, shift_s=1, shift_energy_j=5,
+                )
+            )
+
+    def test_is_multi_speed(self):
+        assert SPEC.is_multi_speed
+        assert not ATA_80GB_TYPE1.is_multi_speed
+
+
+class TestShifting:
+    def test_shift_down_and_up_round_trip(self, sim):
+        disk = SimDisk(sim, SPEC)
+
+        def proc():
+            assert disk.shift_down() is True
+            yield sim.timeout(SPEC.low_speed.shift_s + 0.01)
+            assert disk.state is DiskState.LOW_IDLE
+            assert disk.shift_up() is True
+            yield sim.timeout(SPEC.low_speed.shift_s + 0.01)
+            assert disk.state is DiskState.IDLE
+
+        sim.process(proc())
+        sim.run()
+        assert disk.shift_count == 2
+        assert disk.transition_count == 0  # shifts are not standby cycles
+
+    def test_shift_on_single_speed_drive_raises(self, sim):
+        disk = SimDisk(sim, ATA_80GB_TYPE1)
+        with pytest.raises(RuntimeError):
+            disk.shift_down()
+        with pytest.raises(RuntimeError):
+            disk.shift_up()
+
+    def test_shift_refused_with_inflight_work(self, sim):
+        disk = SimDisk(sim, SPEC)
+
+        def proc():
+            disk.submit(50 * MB)
+            assert disk.shift_down() is False
+            yield sim.timeout(0.0)
+
+        sim.process(proc())
+        sim.run()
+
+    def test_service_slower_at_low_speed(self, sim):
+        disk = SimDisk(sim, SPEC)
+        results = {}
+
+        def proc():
+            req = disk.submit(10 * MB)
+            yield req.done
+            results["full"] = sim.now
+            disk.shift_down()
+            yield sim.timeout(SPEC.low_speed.shift_s + 0.01)
+            t0 = sim.now
+            req = disk.submit(10 * MB)
+            yield req.done
+            results["low"] = sim.now - t0
+
+        sim.process(proc())
+        sim.run()
+        ratio = results["low"] / results["full"]
+        # ~58/30 media-rate ratio, softened by positioning overhead.
+        assert 1.5 < ratio < 2.2
+        assert disk.state is DiskState.LOW_IDLE  # returns to low idle
+
+    def test_low_idle_serves_without_spinup_penalty(self, sim):
+        """The DRPM selling point: no 2 s stall on the next request."""
+        disk = SimDisk(sim, SPEC)
+        results = {}
+
+        def proc():
+            disk.shift_down()
+            yield sim.timeout(10.0)
+            req = disk.submit(1 * MB)
+            yield req.done
+            results["latency"] = sim.now - req.issued_at
+
+        sim.process(proc())
+        sim.run()
+        low_service = disk.service_low.service_time(1 * MB)
+        assert results["latency"] == pytest.approx(low_service)
+
+    def test_low_speed_idle_power_cheaper(self, sim):
+        def energy(shift):
+            s = Simulator()
+            d = SimDisk(s, SPEC)
+
+            def proc():
+                if shift:
+                    d.shift_down()
+                yield s.timeout(600.0)
+
+            s.process(proc())
+            s.run()
+            d.finalize()
+            return d.energy_j()
+
+        assert energy(shift=True) < energy(shift=False)
+
+    def test_standby_reachable_from_low_idle(self, sim):
+        """LOW_IDLE -> standby is the second stage of the hybrid policy."""
+        disk = SimDisk(sim, SPEC)
+
+        def proc():
+            disk.shift_down()
+            yield sim.timeout(SPEC.low_speed.shift_s + 0.01)
+            assert disk.request_sleep() is True
+            yield sim.timeout(SPEC.spindown_s + 0.01)
+            assert disk.state is DiskState.STANDBY
+
+        sim.process(proc())
+        sim.run()
+
+    def test_idle_action_low_speed_watchdog(self, sim):
+        disk = SimDisk(sim, SPEC, auto_sleep_after=5.0, idle_action="low_speed")
+
+        def proc():
+            req = disk.submit(1 * MB)
+            yield req.done
+            yield sim.timeout(5.0 + SPEC.low_speed.shift_s + 0.05)
+            assert disk.state is DiskState.LOW_IDLE
+
+        sim.process(proc())
+        sim.run()
+
+    def test_idle_action_validation(self, sim):
+        with pytest.raises(ValueError):
+            SimDisk(sim, SPEC, idle_action="hover")
+        with pytest.raises(ValueError):
+            SimDisk(sim, ATA_80GB_TYPE1, idle_action="low_speed")

@@ -1,0 +1,159 @@
+"""Property-based tests for the disk substrate."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk import ATA_80GB_TYPE1, SimDisk, break_even_time
+from repro.disk.energy import EnergyMeter, standby_energy_saved
+from repro.disk.specs import DiskSpec, MB
+from repro.disk.states import DiskState
+from repro.sim import Simulator
+
+SPEC = ATA_80GB_TYPE1
+
+
+@st.composite
+def disk_specs(draw):
+    """Random but physically consistent drive specs."""
+    standby = draw(st.floats(min_value=0.1, max_value=3.0))
+    idle = standby + draw(st.floats(min_value=0.5, max_value=10.0))
+    active = idle + draw(st.floats(min_value=0.0, max_value=10.0))
+    spinup_s = draw(st.floats(min_value=0.5, max_value=10.0))
+    spindown_s = draw(st.floats(min_value=0.2, max_value=5.0))
+    spinup_energy = spinup_s * draw(st.floats(min_value=max(standby, 1.0), max_value=30.0))
+    spindown_energy = spindown_s * draw(st.floats(min_value=0.5, max_value=20.0))
+    return DiskSpec(
+        name="hyp",
+        capacity_bytes=draw(st.integers(min_value=1, max_value=10**13)),
+        bandwidth_bps=draw(st.floats(min_value=1e6, max_value=5e8)),
+        avg_seek_s=draw(st.floats(min_value=0.0, max_value=0.05)),
+        avg_rotation_s=draw(st.floats(min_value=0.0, max_value=0.02)),
+        power_active_w=active,
+        power_idle_w=idle,
+        power_standby_w=standby,
+        spinup_s=spinup_s,
+        spinup_energy_j=spinup_energy,
+        spindown_s=spindown_s,
+        spindown_energy_j=spindown_energy,
+    )
+
+
+@given(disk_specs())
+def test_break_even_properties(spec):
+    t_be = break_even_time(spec)
+    # Break-even is always at least the physical transition time ...
+    assert t_be >= spec.spindown_s + spec.spinup_s - 1e-12
+    # ... and sleeping a window strictly longer than it always saves energy.
+    assert standby_energy_saved(spec, t_be * 1.5 + 1.0) > 0
+
+
+@given(disk_specs(), st.floats(min_value=0.0, max_value=10_000.0))
+def test_savings_monotone_in_window(spec, window):
+    """Longer windows never save less energy."""
+    a = standby_energy_saved(spec, window)
+    b = standby_energy_saved(spec, window + 1.0)
+    assert b >= a - 1e-9
+
+
+@given(
+    st.lists(st.floats(min_value=0.1, max_value=20.0), min_size=1, max_size=20),
+)
+def test_meter_energy_equals_sum_of_state_integrals(durations):
+    """Total energy == sum over states of (power * time-in-state)."""
+    spec = SPEC
+    meter = EnergyMeter(spec)
+    t = 0.0
+    state = DiskState.IDLE
+    for i, dt in enumerate(durations):
+        t += dt
+        # Alternate IDLE <-> ACTIVE (always legal both ways).
+        state = DiskState.ACTIVE if state is DiskState.IDLE else DiskState.IDLE
+        meter.transition(t, state)
+    meter.finalize(t + 1.0)
+    by_state = (
+        meter.time_in_state[DiskState.IDLE] * spec.power_idle_w
+        + meter.time_in_state[DiskState.ACTIVE] * spec.power_active_w
+    )
+    assert math.isclose(meter.energy_j(), by_state, rel_tol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=30.0),  # gap before request
+            st.integers(min_value=0, max_value=64 * MB),  # size
+        ),
+        min_size=1,
+        max_size=15,
+    ),
+    st.one_of(st.none(), st.floats(min_value=1.0, max_value=10.0)),
+)
+def test_drive_always_serves_everything(jobs, auto_sleep):
+    """No request is ever lost, whatever the sleep policy does."""
+    sim = Simulator()
+    disk = SimDisk(sim, SPEC, auto_sleep_after=auto_sleep)
+    done = []
+
+    def client():
+        for gap, size in jobs:
+            yield sim.timeout(gap)
+            req = disk.submit(size)
+            yield req.done
+            done.append(req.request_id)
+
+    sim.process(client())
+    sim.run()
+    assert len(done) == len(jobs)
+    assert disk.inflight == 0
+    assert disk.requests_served == len(jobs)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=60.0), min_size=1, max_size=12),
+)
+def test_energy_account_never_negative_and_bounded(gaps):
+    """Energy is within [standby_power * T, active_power_envelope * T]."""
+    sim = Simulator()
+    disk = SimDisk(sim, SPEC, auto_sleep_after=5.0)
+
+    def client():
+        for gap in gaps:
+            yield sim.timeout(gap)
+            req = disk.submit(4 * MB)
+            yield req.done
+
+    sim.process(client())
+    sim.run()
+    disk.finalize()
+    total_t = sim.now
+    energy = disk.energy_j()
+    max_power = max(
+        SPEC.power_active_w, SPEC.spinup_power_w, SPEC.spindown_power_w
+    )
+    assert energy >= SPEC.power_standby_w * total_t - 1e-6
+    assert energy <= max_power * total_t + 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(min_value=6.5, max_value=40.0), min_size=2, max_size=10))
+def test_transitions_come_in_balanced_pairs(gaps):
+    """After the run drains, spin-ups never exceed spin-downs, and differ
+    by at most one (a final spin-down can be un-woken)."""
+    sim = Simulator()
+    disk = SimDisk(sim, SPEC, auto_sleep_after=5.0)
+
+    def client():
+        for gap in gaps:
+            req = disk.submit(1 * MB)
+            yield req.done
+            yield sim.timeout(gap)
+
+    sim.process(client())
+    sim.run()
+    ups = disk.meter.spinup_count
+    downs = disk.meter.spindown_count
+    assert ups <= downs <= ups + 1

@@ -1,0 +1,77 @@
+"""Tests for the power-model sensitivity analysis."""
+
+import pytest
+
+from repro.disk.energy import break_even_time
+from repro.disk.specs import ATA_80GB_TYPE1
+from repro.experiments.sensitivity import (
+    perturbed_cluster,
+    power_model_sensitivity,
+    render_sensitivity,
+    scale_disk_power,
+)
+
+
+class TestScaleDiskPower:
+    def test_powers_scale_linearly(self):
+        scaled = scale_disk_power(ATA_80GB_TYPE1, 2.0)
+        assert scaled.power_idle_w == 2 * ATA_80GB_TYPE1.power_idle_w
+        assert scaled.power_active_w == 2 * ATA_80GB_TYPE1.power_active_w
+        assert scaled.spinup_energy_j == 2 * ATA_80GB_TYPE1.spinup_energy_j
+
+    def test_break_even_invariant_under_uniform_scale(self):
+        """Scaling powers and transition energies together must not move
+        the break-even time -- the perturbation stays physical."""
+        for factor in (0.5, 0.8, 1.7):
+            scaled = scale_disk_power(ATA_80GB_TYPE1, factor)
+            assert break_even_time(scaled) == pytest.approx(
+                break_even_time(ATA_80GB_TYPE1)
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scale_disk_power(ATA_80GB_TYPE1, 0)
+
+
+class TestPerturbedCluster:
+    def test_base_power_scaled(self):
+        cluster = perturbed_cluster(base_power_factor=2.0)
+        from repro.core import default_cluster
+
+        original = default_cluster()
+        for node, base in zip(cluster.storage_nodes, original.storage_nodes):
+            assert node.base_power_w == pytest.approx(2 * base.base_power_w)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            perturbed_cluster(base_power_factor=0)
+
+
+class TestSensitivityGrid:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return power_model_sensitivity(
+            base_factors=(0.5, 1.0, 1.5),
+            disk_factors=(0.7, 1.3),
+            n_requests=120,
+        )
+
+    def test_grid_shape(self, grid):
+        assert len(grid) == 6
+
+    def test_savings_positive_everywhere(self, grid):
+        """The headline conclusion must survive the calibration unknowns."""
+        assert all(value > 2.0 for value in grid.values())
+
+    def test_savings_monotone_in_disk_share(self, grid):
+        """More disk power (or less base power) -> more relative savings;
+        the disk share of node power is the savings lever."""
+        for base in (0.5, 1.0, 1.5):
+            assert grid[(base, 1.3)] > grid[(base, 0.7)]
+        for disk in (0.7, 1.3):
+            assert grid[(0.5, disk)] > grid[(1.5, disk)]
+
+    def test_render(self, grid):
+        text = render_sensitivity(grid)
+        assert "base x1.0" in text
+        assert "disk x1.3" in text

@@ -1,0 +1,42 @@
+"""Unit tests for plain-text table/series rendering."""
+
+import pytest
+
+from repro.metrics import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "--" in lines[1]
+        assert len(lines) == 4
+
+    def test_title_prepended(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[123456.0], [0.123456], [0.0]])
+        assert "1.235e+05" in out
+        assert "0.123" in out
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert len(out.splitlines()) == 2
+
+
+class TestFormatSeries:
+    def test_columns_rendered(self):
+        out = format_series("x", [1, 2], {"y": [10.0, 20.0], "z": [1.0, 2.0]})
+        header = out.splitlines()[0]
+        assert "x" in header and "y" in header and "z" in header
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1, 2], {"y": [1.0]})

@@ -1,0 +1,208 @@
+"""Unit and property tests for the switching fabric."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import Fabric, FAST_ETHERNET_BPS, GIGABIT_ETHERNET_BPS
+from repro.sim import Simulator
+
+MB = 1024 * 1024
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def fabric(sim):
+    f = Fabric(sim, latency_s=0.0, connect_s=0.0005)
+    f.add_endpoint("server", GIGABIT_ETHERNET_BPS)
+    f.add_endpoint("node1", GIGABIT_ETHERNET_BPS)
+    f.add_endpoint("node2", FAST_ETHERNET_BPS)
+    return f
+
+
+class TestTopology:
+    def test_duplicate_endpoint_rejected(self, sim):
+        f = Fabric(sim)
+        f.add_endpoint("a", 1e6)
+        with pytest.raises(ValueError):
+            f.add_endpoint("a", 1e6)
+
+    def test_unknown_endpoint_lookup_raises(self, fabric):
+        with pytest.raises(KeyError):
+            fabric.endpoint("nope")
+
+    def test_endpoints_sorted(self, fabric):
+        assert fabric.endpoints() == ["node1", "node2", "server"]
+
+    def test_negative_latency_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Fabric(sim, latency_s=-1)
+
+
+class TestTransfers:
+    def test_delivery_into_inbox(self, sim, fabric):
+        got = []
+
+        def receiver():
+            msg = yield fabric.endpoint("node1").receive()
+            got.append((msg.payload, sim.now))
+
+        def sender():
+            yield fabric.send("server", "node1", payload="hello", size_bytes=0)
+
+        sim.process(receiver())
+        sim.process(sender())
+        sim.run()
+        assert got == [("hello", 0.0)]
+
+    def test_transfer_rate_is_min_of_nics(self, sim, fabric):
+        done = {}
+
+        def sender():
+            # 12.5 MB at the 100 Mb/s (12.5e6 B/s) node-2 NIC: 1.048576 s.
+            msg = yield fabric.send("server", "node2", payload=b"", size_bytes=125 * 10**5)
+            done["t"] = sim.now
+            done["latency"] = msg.latency
+
+        sim.process(sender())
+        sim.run()
+        assert done["t"] == pytest.approx(1.0)
+        assert done["latency"] == pytest.approx(1.0)
+
+    def test_gigabit_pair_runs_at_gigabit(self, sim, fabric):
+        done = {}
+
+        def sender():
+            yield fabric.send("server", "node1", payload=b"", size_bytes=125 * 10**6)
+            done["t"] = sim.now
+
+        sim.process(sender())
+        sim.run()
+        assert done["t"] == pytest.approx(1.0)
+
+    def test_self_send_rejected(self, fabric):
+        with pytest.raises(ValueError):
+            fabric.send("server", "server", payload=None)
+
+    def test_latency_added_once(self, sim):
+        f = Fabric(sim, latency_s=0.010)
+        f.add_endpoint("a", 1e9)
+        f.add_endpoint("b", 1e9)
+        done = {}
+
+        def sender():
+            yield f.send("a", "b", payload=None, size_bytes=0)
+            done["t"] = sim.now
+
+        sim.process(sender())
+        sim.run()
+        assert done["t"] == pytest.approx(0.010)
+
+    def test_sender_tx_serialises_two_receivers(self, sim, fabric):
+        """One gigabit sender feeding two nodes cannot exceed its NIC."""
+        times = []
+
+        def sender(dst):
+            yield fabric.send("server", dst, payload=b"", size_bytes=125 * 10**6)
+            times.append(sim.now)
+
+        sim.process(sender("node1"))
+        sim.process(sender("node1"))
+        sim.run()
+        assert sorted(times) == [pytest.approx(1.0), pytest.approx(2.0)]
+
+    def test_distinct_pairs_transfer_in_parallel(self, sim, fabric):
+        times = []
+
+        def flow(src, dst):
+            yield fabric.send(src, dst, payload=b"", size_bytes=125 * 10**6)
+            times.append(sim.now)
+
+        sim.process(flow("server", "node1"))
+        sim.process(flow("node1", "server"))  # full duplex: opposite direction
+        sim.run()
+        assert times == [pytest.approx(1.0), pytest.approx(1.0)]
+
+    def test_connect_costs_handshake(self, sim, fabric):
+        done = {}
+
+        def dialer():
+            yield fabric.connect("server", "node1")
+            done["t"] = sim.now
+
+        sim.process(dialer())
+        sim.run()
+        assert done["t"] == pytest.approx(0.0005)
+
+    def test_accounting(self, sim, fabric):
+        def sender():
+            yield fabric.send("server", "node1", payload=None, size_bytes=100)
+            yield fabric.send("server", "node2", payload=None, size_bytes=50)
+
+        sim.process(sender())
+        sim.run()
+        assert fabric.messages_sent == 2
+        assert fabric.bytes_sent == 150
+        assert fabric.endpoint("node1").messages_received == 1
+
+    def test_receive_matching_filters(self, sim, fabric):
+        got = []
+
+        def receiver():
+            node = fabric.endpoint("node1")
+            msg = yield node.receive_matching(lambda m: m.payload == "wanted")
+            got.append(msg.payload)
+
+        def sender():
+            yield fabric.send("server", "node1", payload="other", size_bytes=0)
+            yield fabric.send("server", "node1", payload="wanted", size_bytes=0)
+
+        sim.process(receiver())
+        sim.process(sender())
+        sim.run()
+        assert got == ["wanted"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["a", "b", "c"]),
+            st.sampled_from(["a", "b", "c"]),
+            st.integers(min_value=0, max_value=10 * MB),
+        ).filter(lambda t: t[0] != t[1]),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_fabric_conserves_messages(transfers):
+    """Every sent message is delivered exactly once, whatever the pattern."""
+    sim = Simulator()
+    fabric = Fabric(sim, latency_s=1e-4)
+    for name in "abc":
+        fabric.add_endpoint(name, 10 * MB)
+    delivered = []
+
+    def receiver(name):
+        while True:
+            msg = yield fabric.endpoint(name).receive()
+            delivered.append(msg.message_id)
+
+    def sender():
+        events = [
+            fabric.send(src, dst, payload=i, size_bytes=size)
+            for i, (src, dst, size) in enumerate(transfers)
+        ]
+        yield sim.all_of(events)
+
+    for name in "abc":
+        sim.process(receiver(name))
+    done = sim.process(sender())
+    sim.run(until=done)
+    sim.run(until=sim.now + 1.0)  # drain inbox consumers
+    assert sorted(delivered) == sorted(set(delivered))
+    assert len(delivered) == len(transfers)

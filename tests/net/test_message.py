@@ -1,0 +1,36 @@
+"""Unit tests for network messages."""
+
+import pytest
+
+from repro.net import Message
+from repro.net.message import CONTROL_MESSAGE_BYTES
+
+
+def test_default_size_is_control_message():
+    msg = Message(src="a", dst="b", payload={"op": "request"})
+    assert msg.size_bytes == CONTROL_MESSAGE_BYTES
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        Message(src="a", dst="b", payload=None, size_bytes=-1)
+
+
+def test_empty_addresses_rejected():
+    with pytest.raises(ValueError):
+        Message(src="", dst="b", payload=None)
+    with pytest.raises(ValueError):
+        Message(src="a", dst="", payload=None)
+
+
+def test_message_ids_are_unique():
+    a = Message(src="a", dst="b", payload=None)
+    b = Message(src="a", dst="b", payload=None)
+    assert a.message_id != b.message_id
+
+
+def test_latency_is_delivery_minus_send():
+    msg = Message(src="a", dst="b", payload=None)
+    msg.sent_at = 1.0
+    msg.delivered_at = 3.5
+    assert msg.latency == pytest.approx(2.5)

@@ -1,0 +1,222 @@
+"""Unit tests for the simulation engine (clock, heap, run loop)."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.engine import EmptySchedule
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_clock_custom_start():
+    assert Simulator(start_time=5.0).now == 5.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(3.5)
+
+    sim.process(proc())
+    sim.run()
+    assert sim.now == 3.5
+
+
+def test_zero_timeout_is_legal():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        yield sim.timeout(0.0)
+        seen.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert seen == [0.0]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_negative_schedule_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(sim.event(), delay=-0.1)
+
+
+def test_run_until_time_stops_exactly():
+    sim = Simulator()
+
+    def ticker():
+        while True:
+            yield sim.timeout(1.0)
+
+    sim.process(ticker())
+    sim.run(until=10.5)
+    assert sim.now == 10.5
+
+
+def test_run_until_time_excludes_events_at_that_time():
+    sim = Simulator()
+    fired = []
+
+    def proc():
+        yield sim.timeout(5.0)
+        fired.append(sim.now)
+
+    sim.process(proc())
+    sim.run(until=5.0)
+    # The stop event is URGENT so run(until=5) does not execute the t=5 work.
+    assert fired == []
+    sim.run()
+    assert fired == [5.0]
+
+
+def test_run_until_past_raises():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(10.0)
+
+    sim.process(proc())
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.run(until=5.0)
+
+
+def test_run_until_event_returns_its_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(2.0)
+        return "payload"
+
+    p = sim.process(proc())
+    assert sim.run(until=p) == "payload"
+    assert sim.now == 2.0
+
+
+def test_run_until_event_that_never_fires_returns_none():
+    sim = Simulator()
+    never = sim.event()
+
+    def proc():
+        yield sim.timeout(1.0)
+
+    sim.process(proc())
+    assert sim.run(until=never) is None
+    assert sim.now == 1.0
+
+
+def test_run_to_exhaustion_returns_none():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+
+    sim.process(proc())
+    assert sim.run() is None
+
+
+def test_step_on_empty_schedule_raises():
+    sim = Simulator()
+    with pytest.raises(EmptySchedule):
+        sim.step()
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    sim.timeout(4.0)
+    assert sim.peek() == 4.0
+
+
+def test_queue_size_counts_scheduled_events():
+    sim = Simulator()
+    assert sim.queue_size == 0
+    sim.timeout(1.0)
+    sim.timeout(2.0)
+    assert sim.queue_size == 2
+
+
+def test_simultaneous_events_process_in_creation_order():
+    sim = Simulator()
+    order = []
+
+    def proc(tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in "abcde":
+        sim.process(proc(tag))
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_unhandled_process_exception_surfaces_from_run():
+    sim = Simulator()
+
+    def boom():
+        yield sim.timeout(1.0)
+        raise RuntimeError("kaboom")
+
+    sim.process(boom())
+    with pytest.raises(RuntimeError, match="kaboom"):
+        sim.run()
+
+
+def test_failed_event_with_no_waiter_surfaces():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(ValueError("lost"))
+    with pytest.raises(ValueError, match="lost"):
+        sim.run()
+
+
+def test_defused_failure_does_not_surface():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(ValueError("handled"))
+    ev.defuse()
+    sim.run()  # no raise
+
+
+def test_nested_processes_wait_on_each_other():
+    sim = Simulator()
+
+    def inner():
+        yield sim.timeout(2.0)
+        return 42
+
+    def outer():
+        value = yield sim.process(inner())
+        return value + 1
+
+    p = sim.process(outer())
+    sim.run()
+    assert p.value == 43
+    assert sim.now == 2.0
+
+
+def test_many_events_keep_heap_order(rng_values=200):
+    sim = Simulator()
+    seen = []
+
+    def proc(at):
+        yield sim.timeout(at)
+        seen.append(sim.now)
+
+    import random
+
+    r = random.Random(7)
+    delays = [r.uniform(0, 100) for _ in range(rng_values)]
+    for d in delays:
+        sim.process(proc(d))
+    sim.run()
+    assert seen == sorted(delays)

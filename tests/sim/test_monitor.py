@@ -1,0 +1,162 @@
+"""Unit tests for statistics collectors."""
+
+import math
+
+import pytest
+
+from repro.sim import Recorder, TallyStat, TimeWeightedStat
+
+
+class TestTallyStat:
+    def test_empty_stats_are_nan(self):
+        t = TallyStat()
+        assert t.count == 0
+        assert math.isnan(t.mean)
+        assert math.isnan(t.std)
+        assert math.isnan(t.minimum)
+        assert math.isnan(t.maximum)
+
+    def test_single_observation(self):
+        t = TallyStat()
+        t.record(5.0)
+        assert t.count == 1
+        assert t.mean == 5.0
+        assert t.minimum == 5.0
+        assert t.maximum == 5.0
+        assert math.isnan(t.variance)
+
+    def test_known_mean_and_variance(self):
+        t = TallyStat()
+        t.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert t.mean == pytest.approx(5.0)
+        # Unbiased sample variance of this classic dataset is 32/7.
+        assert t.variance == pytest.approx(32.0 / 7.0)
+
+    def test_total(self):
+        t = TallyStat()
+        t.extend([1.0, 2.0, 3.0])
+        assert t.total == pytest.approx(6.0)
+
+    def test_nan_rejected(self):
+        t = TallyStat()
+        with pytest.raises(ValueError):
+            t.record(float("nan"))
+
+    def test_percentile_requires_samples(self):
+        t = TallyStat()
+        t.record(1.0)
+        with pytest.raises(RuntimeError):
+            t.percentile(50)
+
+    def test_percentiles(self):
+        t = TallyStat(keep_samples=True)
+        t.extend([10.0, 20.0, 30.0, 40.0])
+        assert t.percentile(0) == 10.0
+        assert t.percentile(100) == 40.0
+        assert t.percentile(50) == pytest.approx(25.0)
+
+    def test_percentile_range_checked(self):
+        t = TallyStat(keep_samples=True)
+        t.record(1.0)
+        with pytest.raises(ValueError):
+            t.percentile(101)
+
+    def test_as_dict_round_trip(self):
+        t = TallyStat(name="rt")
+        t.extend([1.0, 3.0])
+        d = t.as_dict()
+        assert d["name"] == "rt"
+        assert d["count"] == 2
+        assert d["mean"] == pytest.approx(2.0)
+
+
+class TestTimeWeightedStat:
+    def test_integral_of_constant_level(self):
+        s = TimeWeightedStat(level=10.0)
+        s.update(5.0, 10.0)
+        assert s.integral() == pytest.approx(50.0)
+
+    def test_integral_of_step_function(self):
+        s = TimeWeightedStat(level=0.0)
+        s.update(2.0, 4.0)  # 0 W for 2 s
+        s.update(5.0, 0.0)  # 4 W for 3 s
+        assert s.integral() == pytest.approx(12.0)
+
+    def test_integral_until_extends_current_level(self):
+        s = TimeWeightedStat(level=2.0)
+        s.update(1.0, 3.0)
+        assert s.integral(until=3.0) == pytest.approx(2.0 * 1.0 + 3.0 * 2.0)
+
+    def test_time_average(self):
+        s = TimeWeightedStat(level=10.0)
+        s.update(4.0, 0.0)
+        s.update(8.0, 0.0)
+        assert s.time_average() == pytest.approx(5.0)
+
+    def test_time_average_empty_window_is_nan(self):
+        s = TimeWeightedStat()
+        assert math.isnan(s.time_average())
+
+    def test_backwards_time_rejected(self):
+        s = TimeWeightedStat()
+        s.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            s.update(4.0, 1.0)
+
+    def test_integral_until_before_last_update_rejected(self):
+        s = TimeWeightedStat()
+        s.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            s.integral(until=4.0)
+
+    def test_add_shifts_level(self):
+        s = TimeWeightedStat(level=1.0)
+        s.add(2.0, 3.0)
+        assert s.level == 4.0
+        s.add(4.0, -4.0)
+        assert s.level == 0.0
+        assert s.integral() == pytest.approx(1.0 * 2.0 + 4.0 * 2.0)
+
+    def test_min_max_track_levels(self):
+        s = TimeWeightedStat(level=5.0)
+        s.update(1.0, -2.0)
+        s.update(2.0, 9.0)
+        assert s.minimum == -2.0
+        assert s.maximum == 9.0
+
+    def test_nonzero_start_time(self):
+        s = TimeWeightedStat(time=10.0, level=1.0)
+        s.update(20.0, 0.0)
+        assert s.integral() == pytest.approx(10.0)
+        assert s.time_average() == pytest.approx(1.0)
+
+
+class TestRecorder:
+    def test_record_and_iterate(self):
+        r = Recorder("series")
+        r.record(0.0, "a")
+        r.record(1.5, "b")
+        assert len(r) == 2
+        assert list(r) == [(0.0, "a"), (1.5, "b")]
+
+    def test_last(self):
+        r = Recorder()
+        r.record(1.0, 10)
+        r.record(2.0, 20)
+        assert r.last() == (2.0, 20)
+
+    def test_last_on_empty_raises(self):
+        with pytest.raises(IndexError):
+            Recorder().last()
+
+    def test_backwards_time_rejected(self):
+        r = Recorder()
+        r.record(2.0, "x")
+        with pytest.raises(ValueError):
+            r.record(1.0, "y")
+
+    def test_equal_times_allowed(self):
+        r = Recorder()
+        r.record(1.0, "x")
+        r.record(1.0, "y")
+        assert len(r) == 2

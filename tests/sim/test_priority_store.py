@@ -1,0 +1,127 @@
+"""Tests for PriorityStore and Store.drain."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator, Store
+from repro.sim.resources import PriorityStore
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestPriorityStore:
+    def test_lowest_priority_number_first(self, sim):
+        store = PriorityStore(sim, priority_key=lambda x: x[0])
+        got = []
+
+        def producer():
+            yield store.put((2, "background"))
+            yield store.put((0, "demand"))
+            yield store.put((1, "prefetch"))
+
+        def consumer():
+            yield sim.timeout(1.0)  # let everything queue first
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item[1])
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == ["demand", "prefetch", "background"]
+
+    def test_ties_are_fifo(self, sim):
+        store = PriorityStore(sim, priority_key=lambda x: 0)
+        got = []
+
+        def proc():
+            for tag in "abc":
+                yield store.put(tag)
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        sim.process(proc())
+        sim.run()
+        assert got == ["a", "b", "c"]
+
+    def test_default_key_is_identity(self, sim):
+        store = PriorityStore(sim)
+        got = []
+
+        def proc():
+            for value in (3, 1, 2):
+                yield store.put(value)
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        sim.process(proc())
+        sim.run()
+        assert got == [1, 2, 3]
+
+    def test_filtered_get_respects_priority_order(self, sim):
+        store = PriorityStore(sim, priority_key=lambda x: x[0])
+        got = []
+
+        def proc():
+            yield store.put((2, "bg-even", 4))
+            yield store.put((0, "demand-odd", 3))
+            yield store.put((1, "pf-even", 2))
+            item = yield store.get(filter=lambda x: x[2] % 2 == 0)
+            got.append(item[1])
+
+        sim.process(proc())
+        sim.run()
+        assert got == ["pf-even"]  # highest-priority even item
+
+    def test_drain_clears_keys(self, sim):
+        store = PriorityStore(sim, priority_key=lambda x: x)
+
+        def proc():
+            yield store.put(5)
+            yield store.put(1)
+            assert store.drain() == [1, 5]
+            assert store.size == 0
+            yield store.put(3)
+            got = yield store.get()
+            assert got == 3
+
+        sim.process(proc())
+        sim.run()
+
+
+class TestStoreDrain:
+    def test_drain_returns_fifo_items(self, sim):
+        store = Store(sim)
+
+        def proc():
+            yield store.put("a")
+            yield store.put("b")
+            assert store.drain() == ["a", "b"]
+            assert store.size == 0
+
+        sim.process(proc())
+        sim.run()
+
+
+@settings(max_examples=50)
+@given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 100)), min_size=1, max_size=40))
+def test_priority_store_yields_sorted_stable(items):
+    sim = Simulator()
+    store = PriorityStore(sim, priority_key=lambda x: x[0])
+    got = []
+
+    def proc():
+        for item in items:
+            yield store.put(item)
+        for _ in items:
+            got.append((yield store.get()))
+
+    sim.process(proc())
+    sim.run()
+    # Stable sort by priority == sorted with original index as tiebreak.
+    expected = [x for _, x in sorted(enumerate(items), key=lambda p: (p[1][0], p[0]))]
+    assert got == expected

@@ -1,0 +1,208 @@
+"""Unit tests for processes and interrupts."""
+
+import pytest
+
+from repro.sim import Interrupt, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def test_process_requires_generator(sim):
+    with pytest.raises(TypeError):
+        sim.process(lambda: None)
+
+
+def test_process_return_value(sim):
+    def proc():
+        yield sim.timeout(1.0)
+        return {"answer": 42}
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == {"answer": 42}
+
+
+def test_process_is_alive_until_done(sim):
+    def proc():
+        yield sim.timeout(2.0)
+
+    p = sim.process(proc())
+    assert p.is_alive
+    sim.run(until=1.0)
+    assert p.is_alive
+    sim.run()
+    assert not p.is_alive
+
+
+def test_yield_non_event_is_type_error(sim):
+    caught = []
+
+    def proc():
+        try:
+            yield "not an event"
+        except TypeError as exc:
+            caught.append(str(exc))
+
+    sim.process(proc())
+    sim.run()
+    assert caught and "non-event" in caught[0]
+
+
+def test_yield_foreign_event_is_value_error(sim):
+    other = Simulator()
+    caught = []
+
+    def proc():
+        try:
+            yield other.timeout(1.0)
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.process(proc())
+    sim.run()
+    assert caught and "different simulator" in caught[0]
+
+
+def test_process_name_defaults_to_generator_name(sim):
+    def my_worker():
+        yield sim.timeout(1.0)
+
+    p = sim.process(my_worker())
+    assert p.name == "my_worker"
+    sim.run()
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, sim):
+        def sleeper():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as exc:
+                return ("interrupted", exc.cause, sim.now)
+
+        def poker(target):
+            yield sim.timeout(3.0)
+            target.interrupt("wake up")
+
+        p = sim.process(sleeper())
+        sim.process(poker(p))
+        sim.run()
+        assert p.value == ("interrupted", "wake up", 3.0)
+
+    def test_interrupted_process_can_continue(self, sim):
+        def sleeper():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt:
+                pass
+            yield sim.timeout(1.0)
+            return sim.now
+
+        def poker(target):
+            yield sim.timeout(2.0)
+            target.interrupt()
+
+        p = sim.process(sleeper())
+        sim.process(poker(p))
+        sim.run()
+        assert p.value == 3.0
+
+    def test_interrupting_dead_process_raises(self, sim):
+        def quick():
+            yield sim.timeout(1.0)
+
+        def late(target):
+            yield sim.timeout(5.0)
+            with pytest.raises(RuntimeError):
+                target.interrupt()
+
+        p = sim.process(quick())
+        sim.process(late(p))
+        sim.run()
+
+    def test_self_interrupt_raises(self, sim):
+        failures = []
+
+        def selfish():
+            me = sim.active_process
+            try:
+                me.interrupt()
+            except RuntimeError as exc:
+                failures.append(str(exc))
+            yield sim.timeout(0.0)
+
+        sim.process(selfish())
+        sim.run()
+        assert failures and "itself" in failures[0]
+
+    def test_uncaught_interrupt_fails_process(self, sim):
+        def sleeper():
+            yield sim.timeout(100.0)
+
+        def poker(target):
+            yield sim.timeout(1.0)
+            target.interrupt("die")
+
+        p = sim.process(sleeper())
+        sim.process(poker(p))
+        with pytest.raises(Interrupt):
+            sim.run()
+        assert not p.ok
+
+    def test_interrupt_races_with_completion(self, sim):
+        """Interrupt scheduled at the same instant the process finishes
+        must not blow up -- delivery is skipped for completed processes."""
+
+        def quick():
+            yield sim.timeout(1.0)
+            return "done"
+
+        def poker(target):
+            yield sim.timeout(1.0)
+            if target.is_alive:
+                target.interrupt()
+
+        p = sim.process(quick())
+        sim.process(poker(p))
+        sim.run()
+        assert p.value == "done"
+
+    def test_interrupt_str_shows_cause(self):
+        exc = Interrupt("why")
+        assert "why" in str(exc)
+        assert exc.cause == "why"
+
+
+class TestProcessesWaitingOnProcesses:
+    def test_fan_in(self, sim):
+        def leaf(duration, value):
+            yield sim.timeout(duration)
+            return value
+
+        def root():
+            procs = [sim.process(leaf(d, d * 10)) for d in (1.0, 2.0, 3.0)]
+            yield sim.all_of(procs)
+            return [p.value for p in procs]
+
+        p = sim.process(root())
+        sim.run()
+        assert p.value == [10.0, 20.0, 30.0]
+        assert sim.now == 3.0
+
+    def test_exception_from_awaited_process_propagates(self, sim):
+        def leaf():
+            yield sim.timeout(1.0)
+            raise KeyError("gone")
+
+        def root():
+            try:
+                yield sim.process(leaf())
+            except KeyError:
+                return "handled"
+
+        p = sim.process(root())
+        sim.run()
+        assert p.value == "handled"

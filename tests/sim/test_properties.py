@@ -1,0 +1,164 @@
+"""Property-based tests for the simulation kernel (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator, TallyStat, TimeWeightedStat
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=60))
+def test_events_always_process_in_time_order(delays):
+    sim = Simulator()
+    seen = []
+
+    def proc(delay):
+        yield sim.timeout(delay)
+        seen.append(sim.now)
+
+    for d in delays:
+        sim.process(proc(d))
+    sim.run()
+    assert seen == sorted(delays)
+    assert sim.now == max(delays)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0),
+            st.floats(min_value=0.0, max_value=100.0),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_clock_never_moves_backwards(jobs):
+    sim = Simulator()
+    timestamps = []
+
+    def proc(start, hold):
+        yield sim.timeout(start)
+        timestamps.append(sim.now)
+        yield sim.timeout(hold)
+        timestamps.append(sim.now)
+
+    for start, hold in jobs:
+        sim.process(proc(start, hold))
+    sim.run()
+    assert timestamps == sorted(timestamps)
+
+
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=25),
+)
+def test_resource_conserves_grants(capacity, holds):
+    """Every request is granted exactly once and capacity is never exceeded."""
+    from repro.sim import Resource
+
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity)
+    in_service = [0]
+    max_in_service = [0]
+    grants = [0]
+
+    def worker(hold):
+        with res.request() as req:
+            yield req
+            grants[0] += 1
+            in_service[0] += 1
+            max_in_service[0] = max(max_in_service[0], in_service[0])
+            yield sim.timeout(hold)
+            in_service[0] -= 1
+
+    for hold in holds:
+        sim.process(worker(hold))
+    sim.run()
+    assert grants[0] == len(holds)
+    assert max_in_service[0] <= capacity
+    assert res.count == 0
+    assert res.queue_length == 0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=50))
+def test_store_preserves_all_items(items):
+    from repro.sim import Store
+
+    sim = Simulator()
+    store = Store(sim)
+    received = []
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+
+    def consumer():
+        for _ in items:
+            received.append((yield store.get()))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert received == list(items)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-1e5, max_value=1e5, allow_nan=False),
+        min_size=1,
+        max_size=200,
+    )
+)
+def test_tally_matches_batch_statistics(values):
+    t = TallyStat()
+    t.extend(values)
+    n = len(values)
+    assert t.count == n
+    # Streaming mean vs batch mean.
+    assert math.isclose(t.mean, sum(values) / n, rel_tol=1e-9, abs_tol=1e-6)
+    assert t.minimum == min(values)
+    assert t.maximum == max(values)
+    if n >= 2:
+        mean = sum(values) / n
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+        assert math.isclose(t.variance, var, rel_tol=1e-6, abs_tol=1e-6)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.001, max_value=10.0),  # dt
+            st.floats(min_value=0.0, max_value=100.0),  # level
+        ),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_time_weighted_integral_is_additive_and_bounded(steps):
+    """integral == sum(level_i * dt_i) and is bounded by max level * span."""
+    s = TimeWeightedStat(level=steps[0][1])
+    t = 0.0
+    expected = 0.0
+    level = steps[0][1]
+    for dt, next_level in steps:
+        t += dt
+        expected += level * dt
+        s.update(t, next_level)
+        level = next_level
+    assert math.isclose(s.integral(), expected, rel_tol=1e-9, abs_tol=1e-9)
+    max_level = max(lv for _, lv in steps)
+    assert s.integral() <= max_level * t + 1e-9
+
+
+@settings(max_examples=30)
+@given(st.integers(min_value=0, max_value=2**31 - 1), st.text(min_size=1, max_size=20))
+def test_rng_streams_reproducible_for_any_name(seed, name):
+    from repro.sim import RandomStreams
+
+    import numpy as np
+
+    a = RandomStreams(seed=seed).stream(name).random(10)
+    b = RandomStreams(seed=seed).stream(name).random(10)
+    assert np.array_equal(a, b)

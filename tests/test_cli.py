@@ -1,0 +1,180 @@
+"""Tests for the command-line interface and data export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.export import (
+    figure6_to_dict,
+    figure_to_dict,
+    write_figure_csv,
+    write_figure_json,
+)
+from repro.experiments.figures import figure3, figure6
+from repro.experiments.sweeps import run_all_sweeps
+
+
+@pytest.fixture(scope="module")
+def small_sweeps():
+    return run_all_sweeps(n_requests=60)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figures_subset(self):
+        args = build_parser().parse_args(["figures", "3", "6"])
+        assert args.figures == ["3", "6"]
+
+    def test_invalid_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "7"])
+
+    def test_global_options(self):
+        args = build_parser().parse_args(["--requests", "50", "--seed", "3", "tables"])
+        assert args.requests == 50
+        assert args.seed == 3
+
+
+class TestCommands:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Table II" in out
+
+    def test_figure6(self, capsys):
+        assert main(["--requests", "60", "figures", "6"]) == 0
+        assert "Berkeley" in capsys.readouterr().out
+
+    def test_baselines(self, capsys):
+        assert main(["--requests", "60", "baselines"]) == 0
+        out = capsys.readouterr().out
+        assert "MAID" in out and "PDC" in out
+
+    def test_trace_stats(self, tmp_path, capsys):
+        from repro.traces import generate_synthetic_trace, write_trace
+        from repro.traces.synthetic import SyntheticWorkload
+
+        trace = generate_synthetic_trace(
+            SyntheticWorkload(n_requests=30), rng=np.random.default_rng(0)
+        )
+        path = tmp_path / "t.trace"
+        write_trace(trace, path)
+        assert main(["trace-stats", str(path)]) == 0
+        assert "working_set" in capsys.readouterr().out
+
+    def test_figures_export_csv(self, tmp_path, capsys):
+        assert main(
+            ["--requests", "60", "figures", "6", "--out", str(tmp_path)]
+        ) == 0
+        assert (tmp_path / "fig6.json").exists()
+
+    def test_verify(self, capsys):
+        assert main(["--requests", "150", "verify"]) == 0
+        out = capsys.readouterr().out
+        assert "12/12 checks passed" in out
+
+    def test_compare(self, capsys):
+        assert main(["--requests", "100", "compare"]) == 0
+        out = capsys.readouterr().out
+        assert "Energy by component" in out
+        assert "wear" in out
+
+    def test_compare_with_config_file(self, tmp_path, capsys):
+        from repro.core import EEVFSConfig
+        from repro.core.configio import save_experiment_config
+
+        path = save_experiment_config(
+            tmp_path / "exp.json", EEVFSConfig(prefetch_files=20)
+        )
+        assert main(
+            ["--requests", "80", "compare", "--config", str(path)]
+        ) == 0
+
+    def test_wear(self, capsys):
+        assert main(["--requests", "100", "wear", "--prefetch", "40"]) == 0
+        assert "worst drive" in capsys.readouterr().out
+
+    def test_figures_chart_flag(self, capsys):
+        assert main(["--requests", "60", "figures", "4", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "|" in out  # bars drawn
+
+    def test_report(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main(["--requests", "60", "report", "--out", str(out)]) == 0
+        text = out.read_text()
+        assert "# EEVFS reproduction report" in text
+        assert "Fig6" in text
+
+    @pytest.mark.parametrize("kind", ["synthetic", "berkeley", "drifting"])
+    def test_trace_gen_round_trip(self, tmp_path, kind, capsys):
+        from repro.traces import read_trace
+
+        path = tmp_path / f"{kind}.trace"
+        assert main(
+            ["--requests", "40", "--seed", "2", "trace-gen", kind, str(path)]
+        ) == 0
+        trace = read_trace(path)
+        assert trace.n_requests == 40
+
+    def test_trace_gen_then_stats(self, tmp_path, capsys):
+        path = tmp_path / "t.trace"
+        main(["--requests", "30", "trace-gen", "synthetic", str(path)])
+        assert main(["trace-stats", str(path)]) == 0
+        assert "working_set" in capsys.readouterr().out
+
+
+class TestExport:
+    def test_figure_to_dict_round_trips_via_json(self, small_sweeps):
+        figure = figure3(small_sweeps)
+        data = json.loads(json.dumps(figure_to_dict(figure)))
+        assert data["figure"] == "Fig3"
+        assert set(data["panels"]) == {"a", "b", "c", "d"}
+        panel_a = data["panels"]["a"]
+        assert len(panel_a["x_values"]) == 4
+        assert "PF_energy_J" in panel_a["series"]
+
+    def test_write_figure_csv(self, small_sweeps, tmp_path):
+        figure = figure3(small_sweeps)
+        paths = write_figure_csv(figure, tmp_path)
+        assert len(paths) == 4
+        content = (tmp_path / "fig3a.csv").read_text().splitlines()
+        assert content[0].startswith("Data Size (MB)")
+        assert len(content) == 5  # header + 4 rows
+
+    def test_write_figure_json(self, small_sweeps, tmp_path):
+        figure = figure3(small_sweeps)
+        path = write_figure_json(figure, tmp_path / "f3.json")
+        data = json.loads(path.read_text())
+        assert data["title"].startswith("Energy")
+
+    def test_runresult_json_round_trip(self, tmp_path):
+        import numpy as np
+
+        from repro.core import EEVFSConfig, run_eevfs
+        from repro.experiments.export import write_runresult_json
+        from repro.traces.synthetic import SyntheticWorkload, generate_synthetic_trace
+
+        trace = generate_synthetic_trace(
+            SyntheticWorkload(n_requests=80), rng=np.random.default_rng(0)
+        )
+        result = run_eevfs(trace, EEVFSConfig())
+        path = write_runresult_json(result, tmp_path / "run.json")
+        data = json.loads(path.read_text())
+        assert data["energy_j"] == pytest.approx(result.energy_j)
+        assert data["requests"] == 80
+        assert len(data["nodes"]) == 8
+        assert len(data["nodes"][0]["disks"]) == 3
+        assert "standby" in data["nodes"][0]["disks"][1]["time_in_state_s"]
+
+    def test_figure6_export(self, tmp_path):
+        fig6 = figure6(n_requests=60)
+        data = figure6_to_dict(fig6)
+        assert data["pf_energy_j"] < data["npf_energy_j"]
+        path = write_figure_json(fig6, tmp_path / "f6.json")
+        assert json.loads(path.read_text())["figure"] == "Fig6"

@@ -1,0 +1,90 @@
+"""Unit tests for the Berkeley-web-like trace generator (substitution)."""
+
+import numpy as np
+import pytest
+
+from repro.traces import generate_berkeley_like_trace
+from repro.traces.berkeley import MB, BerkeleyWebWorkload
+from repro.traces.stats import coverage_of_top_k, gini_coefficient, working_set_size
+
+
+def gen(seed=0, **kwargs):
+    return generate_berkeley_like_trace(
+        BerkeleyWebWorkload(**kwargs), rng=np.random.default_rng(seed)
+    )
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_files": 0},
+            {"n_requests": -1},
+            {"working_set_files": 0},
+            {"working_set_files": 2000},
+            {"zipf_alpha": 1.0},
+            {"inter_arrival_s": -1},
+            {"data_size_bytes": -1},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BerkeleyWebWorkload(**kwargs)
+
+
+class TestFig6Properties:
+    """The properties §VI-D observed and relied on."""
+
+    def test_skewed_to_small_subset(self):
+        trace = gen()
+        assert working_set_size(trace) <= 50
+        assert gini_coefficient(trace) > 0.9
+
+    def test_top_70_covers_everything(self):
+        """The paper prefetched 70 files and 'was able to place all of the
+        data disks in the standby for the entirety of the trace'."""
+        assert coverage_of_top_k(gen(), 70) == pytest.approx(1.0)
+
+    def test_data_size_normalised_to_10mb(self):
+        trace = gen()
+        assert all(f.size_bytes == 10 * MB for f in trace.files)
+
+    def test_inter_arrival_respaced(self):
+        trace = gen()
+        times = [r.time_s for r in trace]
+        gaps = np.diff(times)
+        assert np.allclose(gaps, 0.7)
+
+    def test_hot_set_not_catalog_prefix(self):
+        """Hot files must be scattered over the catalog (placement
+        round-robin would otherwise trivially isolate them)."""
+        trace = gen()
+        accessed = trace.accessed_file_ids()
+        assert max(accessed) > 100  # not all in the first files
+
+    def test_substitution_documented_in_meta(self):
+        assert "substitution" in gen().meta
+
+
+class TestStructure:
+    def test_counts(self):
+        trace = gen(n_files=500, n_requests=200)
+        assert trace.n_files == 500
+        assert trace.n_requests == 200
+
+    def test_zipf_head_heavier_than_tail(self):
+        from repro.traces.stats import access_counts
+
+        trace = gen(n_requests=5000)
+        counts = sorted(access_counts(trace).values(), reverse=True)
+        # The hottest file should dwarf the median accessed file.
+        assert counts[0] >= 5 * counts[len(counts) // 2]
+
+    def test_determinism(self):
+        a = gen(seed=3)
+        b = gen(seed=3)
+        assert [r.file_id for r in a] == [r.file_id for r in b]
+
+    def test_all_requests_inside_working_set(self):
+        trace = gen(working_set_files=20)
+        assert working_set_size(trace) <= 20

@@ -1,0 +1,132 @@
+"""Unit tests for trace persistence and the access log."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    AccessLog,
+    FileSpec,
+    RequestOp,
+    Trace,
+    TraceRequest,
+    generate_synthetic_trace,
+    read_trace,
+    write_trace,
+)
+from repro.traces.logio import trace_round_trip
+from repro.traces.synthetic import SyntheticWorkload
+
+
+def small_trace():
+    return Trace(
+        files=[FileSpec(0, 100), FileSpec(1, 200)],
+        requests=[
+            TraceRequest(0.0, 0),
+            TraceRequest(0.25, 1, op=RequestOp.WRITE),
+            TraceRequest(1.0, 0),
+        ],
+        meta={"origin": "unit-test"},
+    )
+
+
+class TestTraceFiles:
+    def test_round_trip_in_memory(self):
+        original = small_trace()
+        restored = trace_round_trip(original)
+        assert restored.n_files == original.n_files
+        assert [(r.time_s, r.file_id, r.op) for r in restored] == [
+            (r.time_s, r.file_id, r.op) for r in original
+        ]
+        assert restored.meta["origin"] == "unit-test"
+
+    def test_round_trip_on_disk(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        write_trace(small_trace(), path)
+        restored = read_trace(path)
+        assert restored.n_requests == 3
+
+    def test_round_trip_of_generated_trace(self):
+        trace = generate_synthetic_trace(
+            SyntheticWorkload(n_requests=200), rng=np.random.default_rng(0)
+        )
+        restored = trace_round_trip(trace)
+        assert [r.file_id for r in restored] == [r.file_id for r in trace]
+        assert restored.duration_s == pytest.approx(trace.duration_s)
+
+    def test_timestamps_survive_exactly(self):
+        """repr round-tripping keeps float timestamps bit-exact."""
+        trace = Trace(
+            files=[FileSpec(0, 1)],
+            requests=[TraceRequest(0.1 + 0.2, 0)],  # classic non-representable sum
+        )
+        restored = trace_round_trip(trace)
+        assert restored.requests[0].time_s == trace.requests[0].time_s
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError, match="not an eevfs trace"):
+            read_trace(io.StringIO("something else\n"))
+
+    def test_malformed_record_rejected(self):
+        content = "#eevfs-trace v1\nF 0 100\nR zero 0 read\n"
+        with pytest.raises(ValueError, match="line 3"):
+            read_trace(io.StringIO(content))
+
+    def test_unknown_record_type_rejected(self):
+        content = "#eevfs-trace v1\nX what\n"
+        with pytest.raises(ValueError):
+            read_trace(io.StringIO(content))
+
+    def test_blank_lines_and_comments_skipped(self):
+        content = "#eevfs-trace v1\n\n# a comment\nF 0 100\nR 0.0 0 read\n"
+        trace = read_trace(io.StringIO(content))
+        assert trace.n_requests == 1
+
+
+class TestAccessLog:
+    def test_append_and_count(self):
+        log = AccessLog()
+        log.append(0.0, 5)
+        log.append(1.0, 5)
+        log.append(2.0, 7)
+        assert len(log) == 3
+        assert log.counts() == {5: 2, 7: 1}
+
+    def test_append_out_of_order_rejected(self):
+        log = AccessLog()
+        log.append(5.0, 0)
+        with pytest.raises(ValueError):
+            log.append(4.0, 0)
+
+    def test_negative_file_id_rejected(self):
+        with pytest.raises(ValueError):
+            AccessLog().append(0.0, -1)
+
+    def test_window_queries(self):
+        log = AccessLog()
+        for t, f in [(0.0, 1), (1.0, 2), (2.0, 1), (3.0, 3)]:
+            log.append(t, f)
+        assert log.counts(since=1.0, until=2.0) == {2: 1, 1: 1}
+        assert log.counts(since=2.5) == {3: 1}
+        assert log.counts(until=0.5) == {1: 1}
+
+    def test_popularity_ranking_descending_with_id_ties(self):
+        log = AccessLog()
+        for t, f in [(0.0, 9), (1.0, 2), (2.0, 9), (3.0, 4)]:
+            log.append(t, f)
+        # 9 twice; 2 and 4 once each (tie -> lower id first).
+        assert log.popularity_ranking() == [9, 2, 4]
+
+    def test_record_trace_bulk_append(self):
+        log = AccessLog()
+        log.record_trace(small_trace())
+        assert len(log) == 3
+        assert log.counts()[0] == 2
+
+    def test_accesses_for_file(self):
+        log = AccessLog()
+        log.record_trace(small_trace())
+        assert log.accesses_for(0) == [0.0, 1.0]
+        assert log.accesses_for(1) == [0.25]
+        assert log.accesses_for(42) == []

@@ -1,0 +1,53 @@
+"""Tests for stack/reuse-distance analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.traces import FileSpec, Trace, TraceRequest
+from repro.traces.stats import mean_reuse_distance, reuse_distances
+
+
+def trace_from_ids(ids, n_files=10):
+    return Trace(
+        files=[FileSpec(i, 100) for i in range(n_files)],
+        requests=[TraceRequest(float(i), fid) for i, fid in enumerate(ids)],
+    )
+
+
+def test_immediate_reuse_is_distance_zero():
+    assert list(reuse_distances(trace_from_ids([1, 1, 1]))) == [0, 0]
+
+
+def test_classic_stack_distances():
+    # a b c a : reuse of a skips over {b, c} -> distance 2.
+    assert list(reuse_distances(trace_from_ids([0, 1, 2, 0]))) == [2]
+
+
+def test_interleaved_pattern():
+    # a b a b: each reuse skips one distinct file.
+    assert list(reuse_distances(trace_from_ids([0, 1, 0, 1]))) == [1, 1]
+
+
+def test_first_accesses_contribute_nothing():
+    assert reuse_distances(trace_from_ids([0, 1, 2])).size == 0
+    assert math.isnan(mean_reuse_distance(trace_from_ids([0, 1, 2])))
+
+
+def test_duplicate_intervening_accesses_counted_once():
+    # a b b b a: only one distinct file between the two a's.
+    assert list(reuse_distances(trace_from_ids([0, 1, 1, 1, 0]))) == [0, 0, 1]
+
+
+def test_skewed_trace_has_shorter_distances_than_uniform():
+    rng = np.random.default_rng(0)
+    skewed = trace_from_ids(list(rng.zipf(2.0, 500) % 10))
+    uniform = trace_from_ids(list(rng.integers(0, 10, 500)))
+    assert mean_reuse_distance(skewed) < mean_reuse_distance(uniform)
+
+
+def test_distances_bounded_by_working_set():
+    ids = list(np.random.default_rng(1).integers(0, 8, 200))
+    distances = reuse_distances(trace_from_ids(ids))
+    assert distances.max() <= 7  # at most working-set-size - 1
