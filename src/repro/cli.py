@@ -21,7 +21,7 @@ from repro.experiments.ablations import (
 from repro.experiments.figures import figure3, figure4, figure5, figure6
 from repro.experiments.sweeps import run_all_sweeps
 from repro.experiments.tables import table1, table2
-from repro.metrics.report import format_table
+from repro.metrics.report import format_table, summary_table
 
 
 def _cmd_tables(args: argparse.Namespace) -> None:
@@ -93,7 +93,6 @@ def _cmd_baselines(args: argparse.Namespace) -> None:
         SyntheticWorkload(n_requests=args.requests),
         rng=np.random.default_rng(1),
     )
-    rows = []
     runs = {
         "EEVFS-PF": run_eevfs(trace, EEVFSConfig(), seed=args.seed),
         "EEVFS-NPF": run_npf(trace, seed=args.seed),
@@ -103,20 +102,9 @@ def _cmd_baselines(args: argparse.Namespace) -> None:
         "DRPM": run_drpm(trace, seed=args.seed),
         "Low-power HW": run_lowpower(trace, seed=args.seed),
     }
-    for name, result in runs.items():
-        rows.append(
-            [
-                name,
-                result.energy_j,
-                result.transitions,
-                result.mean_response_s,
-                result.buffer_hit_rate,
-            ]
-        )
     print(
-        format_table(
-            ["system", "energy_J", "transitions", "mean_response_s", "hit_rate"],
-            rows,
+        summary_table(
+            runs,
             title="Baseline shoot-out (defaults: 10 MB, MU=1000, IA=700 ms, K=70)",
         )
     )
@@ -238,6 +226,69 @@ def _cmd_wear(args: argparse.Namespace) -> None:
         )
 
 
+def _cmd_faults(args: argparse.Namespace) -> None:
+    """Fault drill: one workload, one fault schedule, with and without
+    replication -- what does riding out failures cost in energy?"""
+    import numpy as np
+
+    from repro.core import EEVFSConfig, run_eevfs
+    from repro.core.config import default_cluster
+    from repro.faults import FaultSchedule
+    from repro.traces.synthetic import SyntheticWorkload, generate_synthetic_trace
+
+    trace = generate_synthetic_trace(
+        SyntheticWorkload(n_requests=args.requests), rng=np.random.default_rng(1)
+    )
+    cluster = default_cluster()
+
+    schedule = FaultSchedule()
+    if args.mtbf is not None:
+        targets = [
+            f"{node.name}/data{i}"
+            for node in cluster.storage_nodes
+            for i in range(node.n_data_disks)
+        ]
+        schedule.exponential_faults(
+            targets, mtbf_s=args.mtbf, horizon_s=trace.duration_s, mttr_s=args.mttr
+        )
+    else:
+        schedule.node_fail(args.fail_node, at=args.at)
+        if args.repair_at is not None:
+            schedule.node_repair(args.fail_node, at=args.repair_at)
+
+    baseline = run_eevfs(trace, EEVFSConfig(), seed=args.seed, faults=schedule)
+    replicated = run_eevfs(
+        trace,
+        EEVFSConfig(
+            replication_factor=args.replication, replication_policy=args.policy
+        ),
+        seed=args.seed,
+        faults=schedule,
+    )
+
+    assert replicated.fault_log is not None
+    print(replicated.fault_log.render())
+    print()
+    print(
+        summary_table(
+            {"no replication": baseline, f"{args.replication}-way": replicated},
+            title="Same workload, same faults",
+        )
+    )
+    print()
+    for name, result in (
+        ("no replication", baseline),
+        (f"{args.replication}-way", replicated),
+    ):
+        print(
+            f"{name}: {result.requests_failed_over} failed over, "
+            f"{result.requests_unroutable} unroutable, "
+            f"{result.repairs_completed} repairs "
+            f"({result.repair_bytes_copied / 1e6:.0f} MB recopied), "
+            f"{result.under_replicated_files} files under-replicated at end"
+        )
+
+
 def _cmd_trace_gen(args: argparse.Namespace) -> None:
     import numpy as np
 
@@ -325,6 +376,37 @@ def build_parser() -> argparse.ArgumentParser:
     wear = sub.add_parser("wear", help="start/stop wear projection (§VI-B)")
     wear.add_argument("--prefetch", type=int, default=70, help="prefetch depth K")
     wear.set_defaults(func=_cmd_wear)
+    faults = sub.add_parser(
+        "faults", help="fault drill: availability and energy under failures"
+    )
+    faults.add_argument(
+        "--fail-node", default="node3", help="node to crash (default node3)"
+    )
+    faults.add_argument(
+        "--at", type=float, default=60.0, help="crash time, seconds into the trace"
+    )
+    faults.add_argument(
+        "--repair-at", type=float, default=None, help="optional node repair time"
+    )
+    faults.add_argument(
+        "--mtbf",
+        type=float,
+        default=None,
+        help="instead: exponential per-disk failures with this MTBF (s)",
+    )
+    faults.add_argument(
+        "--mttr", type=float, default=120.0, help="repair time for --mtbf faults"
+    )
+    faults.add_argument(
+        "--replication", type=int, default=2, help="replication factor to compare"
+    )
+    faults.add_argument(
+        "--policy",
+        default="round_robin",
+        choices=["round_robin", "popularity"],
+        help="replica placement policy",
+    )
+    faults.set_defaults(func=_cmd_faults)
     gen = sub.add_parser("trace-gen", help="generate a workload trace file")
     gen.add_argument("kind", choices=["synthetic", "berkeley", "drifting"])
     gen.add_argument("path", help="output trace file")

@@ -213,6 +213,25 @@ class EEVFSConfig:
     #: Durability bound: dirty data older than this is written back even
     #: if that means waking a data disk.
     destage_max_dirty_age_s: float = 60.0
+    #: Replication extension: total copies kept per file across storage
+    #: nodes (primary included).  1 = the paper's layout (no replicas).
+    replication_factor: int = 1
+    #: How replica nodes are chosen: "none"/"buffer" keep no cross-node
+    #: copies ("buffer" names the accidental-replica effect of prefetch
+    #: copies explicitly); "round_robin" puts replica j on the j-th next
+    #: node after the primary; "popularity" deals replicas round-robin
+    #: in descending popularity order (§III-B applied to replicas).
+    replication_policy: str = "round_robin"
+    #: Fan replicated writes out to every live holder (durability); off
+    #: means replicas go stale on writes (read-only replication).
+    replicate_writes: bool = True
+    #: Background re-replication: restore the replication factor after
+    #: failures by re-copying deficit files onto surviving nodes.
+    rereplication_enabled: bool = True
+    rereplication_check_interval_s: float = 5.0
+    #: Repairs dispatched per check interval -- throttles recovery I/O so
+    #: it trickles instead of waking every sleeping disk at once.
+    rereplication_batch: int = 4
     #: Include the storage server's energy in reports (the paper measures
     #: the storage nodes only).
     account_server_energy: bool = False
@@ -249,6 +268,23 @@ class EEVFSConfig:
             raise ValueError("destage_max_dirty_age_s must be >= 0")
         if self.reprefetch_interval_s is not None and self.reprefetch_interval_s <= 0:
             raise ValueError("reprefetch_interval_s must be > 0")
+        if self.replication_factor < 1:
+            raise ValueError(
+                f"replication_factor must be >= 1, got {self.replication_factor!r}"
+            )
+        if self.replication_policy not in ("none", "buffer", "round_robin", "popularity"):
+            raise ValueError(
+                f"unknown replication_policy: {self.replication_policy!r}"
+            )
+        if self.replication_factor > 1 and self.replication_policy in ("none", "buffer"):
+            raise ValueError(
+                f"replication_policy {self.replication_policy!r} keeps no "
+                f"cross-node replicas; replication_factor must be 1"
+            )
+        if self.rereplication_check_interval_s <= 0:
+            raise ValueError("rereplication_check_interval_s must be > 0")
+        if self.rereplication_batch < 1:
+            raise ValueError("rereplication_batch must be >= 1")
         if self.popularity_window_s is not None and self.popularity_window_s <= 0:
             raise ValueError("popularity_window_s must be > 0")
 

@@ -19,6 +19,9 @@ from repro.core.client import ClientDriver
 from repro.core.config import ClusterSpec, EEVFSConfig, default_cluster
 from repro.core.node import StorageNode
 from repro.core.server import StorageServer
+from repro.faults.injector import FaultInjector
+from repro.faults.log import FaultLog
+from repro.faults.schedule import FaultSchedule
 from repro.net.fabric import Fabric
 from repro.sim.engine import Simulator
 from repro.sim.monitor import TallyStat
@@ -94,6 +97,22 @@ class RunResult:
     #: Mean response-time decomposition over successful reads
     #: (disk_s / node_other_s / network_server_s TallyStats).
     latency_components: Dict[str, TallyStat] = field(default_factory=dict)
+    # -- availability / durability (repro.faults, repro.replication) -------------
+    #: Requests handed to another holder after a failed attempt.
+    requests_failed_over: int = 0
+    #: Requests the server dropped for want of any live holder.
+    requests_unroutable: int = 0
+    #: Silent replica-write copies the server fanned out.
+    writes_fanned_out: int = 0
+    #: Background repairs completed / bytes recopied during the run.
+    repairs_completed: int = 0
+    repair_bytes_copied: int = 0
+    #: Files still below the configured replication factor at run end.
+    under_replicated_files: int = 0
+    #: Fault events the injector applied (0 = fault-free run).
+    fault_events: int = 0
+    #: The injector's event log (None when no schedule was given).
+    fault_log: Optional[FaultLog] = None
 
     @property
     def duration_s(self) -> float:
@@ -103,6 +122,12 @@ class RunResult:
     @property
     def requests_total(self) -> int:
         return self.response_times.count
+
+    @property
+    def availability(self) -> float:
+        """Fraction of client requests that succeeded (1.0 if none ran)."""
+        attempted = self.requests_total + self.requests_failed
+        return self.requests_total / attempted if attempted else 1.0
 
     @property
     def buffer_hit_rate(self) -> float:
@@ -123,6 +148,8 @@ class RunResult:
             "buffer_hit_rate": self.buffer_hit_rate,
             "duration_s": self.duration_s,
             "requests": self.requests_total,
+            "requests_failed": self.requests_failed,
+            "availability": self.availability,
         }
 
 
@@ -136,6 +163,7 @@ class EEVFSCluster:
         seed: int = 0,
         record_history: bool = False,
         node_class: type = StorageNode,
+        faults: Optional[FaultSchedule] = None,
     ) -> None:
         self.node_class = node_class
         self.cluster = cluster if cluster is not None else default_cluster()
@@ -182,6 +210,13 @@ class EEVFSCluster:
             server_name=self.server.name,
             max_outstanding=self.cluster.client_max_outstanding,
         )
+        #: Fault injection (repro.faults); started by :meth:`run` at the
+        #: trace epoch so schedule times are workload-relative.
+        self.injector: Optional[FaultInjector] = None
+        if faults is not None:
+            self.injector = FaultInjector(
+                self.sim, self, faults, streams=self.streams
+            )
 
     def run(
         self,
@@ -199,6 +234,8 @@ class EEVFSCluster:
         setup = self.server.setup(trace, history=history)
         self.sim.run(until=setup)
         epoch = self.sim.now
+        if self.injector is not None:
+            self.injector.start(epoch)
 
         # Snapshot energy at the start of the measurement window.
         disk_energy_at_epoch = {
@@ -285,6 +322,26 @@ class EEVFSCluster:
             server_energy_j=server_energy,
             requests_failed=len(self.client.failures),
             latency_components=self.client.latency_components,
+            requests_failed_over=sum(n.requests_failed_over for n in self.nodes),
+            requests_unroutable=self.server.requests_unroutable,
+            writes_fanned_out=self.server.writes_fanned_out,
+            repairs_completed=(
+                self.server.repairer.repairs_completed if self.server.repairer else 0
+            ),
+            repair_bytes_copied=(
+                self.server.repairer.bytes_recopied if self.server.repairer else 0
+            ),
+            under_replicated_files=(
+                len(
+                    self.server.metadata.under_replicated(
+                        self.config.replication_factor
+                    )
+                )
+                if self.config.replication_factor > 1
+                else 0
+            ),
+            fault_events=len(self.injector.log) if self.injector else 0,
+            fault_log=self.injector.log if self.injector else None,
         )
 
     def _server_energy_j(self) -> float:
@@ -299,8 +356,9 @@ def run_eevfs(
     cluster: Optional[ClusterSpec] = None,
     seed: int = 0,
     replay_mode: str = "paced",
+    faults: Optional[FaultSchedule] = None,
 ) -> RunResult:
     """One-call helper: build a cluster, run *trace*, return the result."""
-    return EEVFSCluster(cluster=cluster, config=config, seed=seed).run(
+    return EEVFSCluster(cluster=cluster, config=config, seed=seed, faults=faults).run(
         trace, replay_mode=replay_mode
     )

@@ -25,10 +25,21 @@ class ServerFileEntry:
 
 
 class ServerMetadata:
-    """The storage server's (deliberately thin) metadata map."""
+    """The storage server's (deliberately thin) metadata map.
+
+    The replication extension adds two thin layers on top of the
+    file -> primary-node map: the *replica map* (which other nodes hold a
+    copy) and the *liveness view* (which nodes the membership service
+    currently believes are up).  Both stay node-granular -- the server
+    remains unaware of individual disks (§IV-D).
+    """
 
     def __init__(self) -> None:
         self._files: Dict[int, ServerFileEntry] = {}
+        #: file -> additional holder nodes, in placement/repair order.
+        self._replicas: Dict[int, List[str]] = {}
+        #: Nodes currently marked down by the (zero-latency) detector.
+        self._down: Set[str] = set()
 
     def register(self, file_id: int, node: str, size_bytes: int) -> None:
         """Record a file's node placement; re-registration is an error."""
@@ -58,8 +69,66 @@ class ServerMetadata:
         return sorted(e.file_id for e in self._files.values() if e.node == node)
 
     def bytes_on(self, node: str) -> int:
-        """Total bytes placed on *node* (load-balance diagnostics)."""
-        return sum(e.size_bytes for e in self._files.values() if e.node == node)
+        """Total bytes held by *node*, primaries and replicas alike
+        (load-balance and repair-target diagnostics)."""
+        return sum(
+            e.size_bytes
+            for e in self._files.values()
+            if e.node == node or node in self._replicas.get(e.file_id, ())
+        )
+
+    # -- replicas (replication extension) -----------------------------------------
+
+    def add_replica(self, file_id: int, node: str) -> None:
+        """Record that *node* holds a copy of *file_id*."""
+        entry = self.lookup(file_id)
+        if not node:
+            raise ValueError("node name must be non-empty")
+        holders = self._replicas.setdefault(file_id, [])
+        if node == entry.node or node in holders:
+            raise ValueError(f"node {node!r} already holds file {file_id}")
+        holders.append(node)
+
+    def replica_count(self, file_id: int) -> int:
+        """Total holders of a file (primary included)."""
+        self.lookup(file_id)
+        return 1 + len(self._replicas.get(file_id, ()))
+
+    def holders(self, file_id: int) -> List[str]:
+        """All nodes holding the file, primary first."""
+        entry = self.lookup(file_id)
+        return [entry.node, *self._replicas.get(file_id, ())]
+
+    def live_holders(self, file_id: int) -> List[str]:
+        """Holders currently believed up, primary (if live) first."""
+        return [n for n in self.holders(file_id) if n not in self._down]
+
+    def under_replicated(self, factor: int) -> List[int]:
+        """Files with fewer than *factor* live holders, sorted by id."""
+        if factor < 1:
+            raise ValueError(f"factor must be >= 1, got {factor!r}")
+        return sorted(
+            file_id
+            for file_id in self._files
+            if len(self.live_holders(file_id)) < factor
+        )
+
+    # -- node liveness --------------------------------------------------------------
+
+    def mark_node_down(self, node: str) -> None:
+        """Membership update: *node* is unreachable; route around it."""
+        self._down.add(node)
+
+    def mark_node_up(self, node: str) -> None:
+        """Membership update: *node* is back; its data is usable again."""
+        self._down.discard(node)
+
+    def is_live(self, node: str) -> bool:
+        return node not in self._down
+
+    def down_nodes(self) -> List[str]:
+        """Nodes currently marked down, sorted."""
+        return sorted(self._down)
 
 
 class NodeMetadata:

@@ -20,7 +20,7 @@ the draining disk.
 from __future__ import annotations
 
 from dataclasses import replace as replace_dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.config import EEVFSConfig, NodeSpec
 from repro.core.metadata import NodeMetadata
@@ -33,6 +33,10 @@ from repro.core.protocol import (
     ForwardedRequest,
     PrefetchCommand,
     PrefetchComplete,
+    RepairCommand,
+    RepairComplete,
+    ReplicaData,
+    ReplicaPull,
     RequestFailed,
     WriteAck,
 )
@@ -136,6 +140,17 @@ class StorageNode:
         self.requests_served = 0
         self.requests_failed = 0
 
+        # Fault/replication plane (repro.faults, repro.replication).
+        #: Whole-node failure flag; a crashed node answers nothing except
+        #: the negative acks that keep waiters from stranding.
+        self.crashed = False
+        self.requests_failed_over = 0
+        self.replica_pulls_served = 0
+        self.repairs_received = 0
+        self.replica_bytes_written = 0
+        #: file_id -> the RepairCommand we are executing (awaiting data).
+        self._pending_repairs: Dict[int, RepairCommand] = {}
+
         self._main = sim.process(self._main_loop())
         self._destager = (
             sim.process(self._destage_loop())
@@ -170,12 +185,83 @@ class StorageNode:
         for disk in self.all_disks:
             disk.finalize()
 
+    # -- whole-node faults (repro.faults) --------------------------------------------
+
+    def crash(self) -> None:
+        """Whole-node failure: every local disk stops serving at once.
+
+        In-flight I/O raises :class:`DiskFailureError`, which sends the
+        affected requests down the failover path.  Idempotent.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self._pending_repairs.clear()
+        for disk in self.all_disks:
+            disk.fail()
+
+    def repair_node(self) -> None:
+        """Undo a :meth:`crash`: the node reboots with its disks spun
+        down and data intact (an outage, not a media loss)."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        for disk in self.all_disks:
+            disk.repair()
+
+    def _refuse(self, payload) -> None:
+        """A crashed node answers nothing -- except where pure silence
+        would strand a waiter forever.  Clients get a RequestFailed (or
+        their request fails over), repair peers get negative acks; all
+        three stand in for the sender's retry-on-timeout."""
+        if isinstance(payload, ForwardedRequest) and not payload.silent:
+            request = payload.request
+            if payload.failover:
+                self.requests_failed_over += 1
+                self.fabric.send(
+                    self.spec.name,
+                    payload.failover[0],
+                    ForwardedRequest(
+                        request=request, failover=payload.failover[1:]
+                    ),
+                )
+            else:
+                self.requests_failed += 1
+                self.fabric.send(
+                    self.spec.name,
+                    request.client,
+                    RequestFailed(
+                        request_id=request.request_id,
+                        file_id=request.file_id,
+                        reason=f"{self.spec.name} is down",
+                    ),
+                )
+        elif isinstance(payload, ReplicaPull):
+            self.fabric.send(
+                self.spec.name,
+                payload.requester,
+                ReplicaData(file_id=payload.file_id, size_bytes=0, ok=False),
+            )
+        elif isinstance(payload, RepairCommand):
+            self.fabric.send(
+                self.spec.name,
+                self.server_name,
+                RepairComplete(
+                    file_id=payload.file_id, node=self.spec.name, ok=False
+                ),
+            )
+        # Everything else (hints, prefetch commands, silent write copies,
+        # replica data) is simply lost with the node.
+
     # -- the node process ----------------------------------------------------------------
 
     def _main_loop(self):
         while True:
             message = yield self.endpoint.receive()
             payload = message.payload
+            if self.crashed:
+                self._refuse(payload)
+                continue
             if isinstance(payload, CreateFile):
                 self.metadata.create(
                     payload.file_id, payload.size_bytes, disk=payload.target_disk
@@ -189,6 +275,12 @@ class StorageNode:
             elif isinstance(payload, ForwardedRequest):
                 # Serve concurrently; different disks must overlap.
                 self.sim.process(self._serve(payload))
+            elif isinstance(payload, RepairCommand):
+                self.sim.process(self._start_repair(payload))
+            elif isinstance(payload, ReplicaPull):
+                self.sim.process(self._serve_pull(payload))
+            elif isinstance(payload, ReplicaData):
+                self.sim.process(self._finish_repair(payload))
             else:  # pragma: no cover - defensive
                 raise TypeError(f"storage node cannot handle {payload!r}")
 
@@ -212,24 +304,29 @@ class StorageNode:
                 continue
             size = self.metadata.size_of(file_id)
             stripe = self.metadata.stripe_size_bytes(file_id)
-            reads = [
-                self.data_disks[disk].submit(
-                    stripe,
-                    kind=RequestKind.READ,
+            try:
+                reads = [
+                    self.data_disks[disk].submit(
+                        stripe,
+                        kind=RequestKind.READ,
+                        tag=("prefetch", file_id),
+                        priority=PRIORITY_PREFETCH,
+                    )
+                    for disk in self.metadata.stripe_disks(file_id)
+                ]
+                yield self.sim.all_of([r.done for r in reads])
+                write = self.buffer_disk.submit(
+                    size,
+                    kind=RequestKind.WRITE,
+                    sequential=True,
                     tag=("prefetch", file_id),
                     priority=PRIORITY_PREFETCH,
                 )
-                for disk in self.metadata.stripe_disks(file_id)
-            ]
-            yield self.sim.all_of([r.done for r in reads])
-            write = self.buffer_disk.submit(
-                size,
-                kind=RequestKind.WRITE,
-                sequential=True,
-                tag=("prefetch", file_id),
-                priority=PRIORITY_PREFETCH,
-            )
-            yield write.done
+                yield write.done
+            except DiskFailureError:
+                # A dead source (or buffer) disk costs this file its
+                # buffer copy, not the node its prefetch loop.
+                continue
             self.metadata.mark_prefetched(file_id)
             self.prefetch_stats.files_copied += 1
             self.prefetch_stats.bytes_copied += size
@@ -401,6 +498,23 @@ class StorageNode:
                 )
         except DiskFailureError as failure:
             self.requests_failed += 1
+            if forwarded.silent:
+                # A lost fan-out write copy is the repair loop's problem,
+                # not the client's: the primary already acked.
+                return
+            if forwarded.failover:
+                # Degraded read/write: hand the request to the next live
+                # holder.  (Stands in for the client's retry-on-timeout;
+                # collapsing it keeps the failure path deterministic.)
+                self.requests_failed_over += 1
+                yield self.fabric.send(
+                    self.spec.name,
+                    forwarded.failover[0],
+                    ForwardedRequest(
+                        request=request, failover=forwarded.failover[1:]
+                    ),
+                )
+                return
             reply = RequestFailed(
                 request_id=request.request_id,
                 file_id=request.file_id,
@@ -408,6 +522,9 @@ class StorageNode:
             )
             reply_size = None
             disk_index = None
+        if forwarded.silent:
+            # Fan-out copy applied; only the primary replies.
+            return
         self.requests_served += 1
         # A drained disk is a fresh sleep opportunity.
         if disk_index is not None:
@@ -514,3 +631,122 @@ class StorageNode:
         for target in targets:
             self.power.evaluate(target)
         return f"data{targets[0]}"
+
+    # -- repair data plane (repro.replication) ------------------------------------------
+
+    def _start_repair(self, command: RepairCommand):
+        """RepairCommand handler (we are the repair *target*): pull the
+        bytes from the surviving source holder."""
+        self._pending_repairs[command.file_id] = command
+        yield self.fabric.send(
+            self.spec.name,
+            command.source,
+            ReplicaPull(file_id=command.file_id, requester=self.spec.name),
+        )
+
+    def _serve_pull(self, pull: ReplicaPull):
+        """ReplicaPull handler (we are the *source*): read the file and
+        ship it to the repair target.
+
+        Energy awareness: a prefetched (or dirty-staged) file is read
+        from the buffer disk, which never sleeps -- repair traffic then
+        wakes no spindle on the source side.  Repair I/O rides at
+        background priority behind client requests either way.
+        """
+        file_id = pull.file_id
+        ok = True
+        size = 0
+        if file_id not in self.metadata:
+            ok = False
+        else:
+            size = self.metadata.size_of(file_id)
+            try:
+                if (
+                    self.metadata.is_prefetched(file_id)
+                    or file_id in self.write_buffer.dirty_files
+                ):
+                    io = self.buffer_disk.submit(
+                        size,
+                        kind=RequestKind.READ,
+                        sequential=True,
+                        tag=("repair", file_id),
+                        priority=PRIORITY_BACKGROUND,
+                    )
+                    yield io.done
+                else:
+                    stripe = self.metadata.stripe_size_bytes(file_id)
+                    ios = [
+                        self.data_disks[target].submit(
+                            stripe,
+                            kind=RequestKind.READ,
+                            tag=("repair", file_id),
+                            priority=PRIORITY_BACKGROUND,
+                        )
+                        for target in self.metadata.stripe_disks(file_id)
+                    ]
+                    yield self.sim.all_of([io.done for io in ios])
+            except DiskFailureError:
+                ok = False
+        if ok:
+            self.replica_pulls_served += 1
+            yield self.fabric.send(
+                self.spec.name,
+                pull.requester,
+                ReplicaData(file_id=file_id, size_bytes=size, ok=True),
+                size_bytes=size,
+            )
+        else:
+            yield self.fabric.send(
+                self.spec.name,
+                pull.requester,
+                ReplicaData(file_id=file_id, size_bytes=size, ok=False),
+            )
+
+    def _finish_repair(self, data: ReplicaData):
+        """ReplicaData handler (we are the *target* again): write the new
+        replica locally, then report to the server.
+
+        Energy awareness: the replica lands on an already-awake data disk
+        when one exists (least queued first); only an all-asleep array
+        falls back to the node's round-robin default and wakes a disk.
+        """
+        command = self._pending_repairs.pop(data.file_id, None)
+        if command is None:
+            return  # crash() dropped the context; the manager will retry
+        ok = data.ok
+        if ok:
+            try:
+                if data.file_id not in self.metadata:
+                    self.metadata.create(
+                        data.file_id, data.size_bytes, disk=self._replica_disk()
+                    )
+                stripe = self.metadata.stripe_size_bytes(data.file_id)
+                ios = [
+                    self.data_disks[target].submit(
+                        stripe,
+                        kind=RequestKind.WRITE,
+                        tag=("repair", data.file_id),
+                        priority=PRIORITY_BACKGROUND,
+                    )
+                    for target in self.metadata.stripe_disks(data.file_id)
+                ]
+                yield self.sim.all_of([io.done for io in ios])
+                self.repairs_received += 1
+                self.replica_bytes_written += data.size_bytes
+            except DiskFailureError:
+                ok = False
+        yield self.fabric.send(
+            self.spec.name,
+            self.server_name,
+            RepairComplete(file_id=data.file_id, node=self.spec.name, ok=ok),
+        )
+
+    def _replica_disk(self) -> Optional[int]:
+        """Awake data disk with the shortest queue, or None (letting the
+        round-robin default pick, at the price of a wake-up)."""
+        awake = [
+            i for i, disk in enumerate(self.data_disks) if disk.state.can_serve
+        ]
+        if not awake:
+            return None
+        return min(awake, key=lambda i: (self.data_disks[i].inflight, i))

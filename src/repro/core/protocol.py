@@ -94,9 +94,17 @@ class ForwardedRequest:
 
     The server knows only which *node* holds the file -- never which disk
     or whether it was prefetched (§IV-D distributed metadata).
+
+    ``failover`` lists the other live holders of the file (replication
+    extension): a node whose local disks cannot serve the read hands the
+    request to the next holder instead of failing it.  ``silent`` marks
+    the fan-out copy of a replicated write -- apply the write, send no
+    reply (the primary answers the client).
     """
 
     request: FileRequest
+    failover: Tuple[str, ...] = ()
+    silent: bool = False
 
 
 @dataclass(frozen=True)
@@ -131,3 +139,48 @@ class WriteAck:
     request_id: int
     file_id: int
     served_by: str
+
+
+# -- re-replication control plane (repro.replication) ---------------------------
+
+
+@dataclass(frozen=True)
+class RepairCommand:
+    """Server -> node: restore a replica of *file_id* onto yourself.
+
+    The receiving node pulls the bytes from *source* (a surviving
+    holder); the server never moves data itself (§III-A: data flows
+    between nodes and clients only).
+    """
+
+    file_id: int
+    size_bytes: int
+    source: str
+
+
+@dataclass(frozen=True)
+class ReplicaPull:
+    """Repair-target node -> source node: send me *file_id*."""
+
+    file_id: int
+    requester: str
+
+
+@dataclass(frozen=True)
+class ReplicaData:
+    """Source node -> repair-target node: the replica bytes (or a refusal
+    when the source's own disks could not serve the read)."""
+
+    file_id: int
+    size_bytes: int
+    ok: bool = True
+
+
+@dataclass(frozen=True)
+class RepairComplete:
+    """Repair-target node -> server: replica restored (or attempt failed,
+    ``ok=False`` -- the replication manager will retry elsewhere)."""
+
+    file_id: int
+    node: str
+    ok: bool = True

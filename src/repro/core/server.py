@@ -36,12 +36,16 @@ from repro.core.protocol import (
     ForwardedRequest,
     PrefetchCommand,
     PrefetchComplete,
+    RepairComplete,
+    RequestFailed,
 )
 from repro.net.fabric import Fabric
+from repro.replication.policy import plan_replicas
+from repro.replication.repair import ReplicationManager
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
 from repro.traces.logio import AccessLog
-from repro.traces.model import Trace
+from repro.traces.model import RequestOp, Trace
 
 SERVER_NAME = "server"
 
@@ -62,6 +66,11 @@ class StorageServer:
     ) -> None:
         if not node_names:
             raise ValueError("server needs at least one storage node")
+        if config.replication_factor > len(node_names):
+            raise ValueError(
+                f"replication_factor {config.replication_factor} exceeds "
+                f"node count {len(node_names)}"
+            )
         self.sim = sim
         self.fabric = fabric
         self.name = name
@@ -78,6 +87,14 @@ class StorageServer:
         self.placement: Dict[int, str] = {}
         self.prefetch_plan: Optional[PrefetchPlan] = None
         self.requests_forwarded = 0
+        #: Requests with no live holder at forward time (dropped with a
+        #: RequestFailed straight back to the client).
+        self.requests_unroutable = 0
+        #: Silent replica-write copies sent (replication extension).
+        self.writes_fanned_out = 0
+        #: Background repair loop; created at the end of setup when
+        #: replication_factor > 1 and re-replication is enabled.
+        self.repairer: Optional[ReplicationManager] = None
         #: Live request log (§IV: "an append-only log of requests to keep
         #: track of file access patterns") -- feeds dynamic re-prefetching.
         self.online_log = AccessLog()
@@ -123,10 +140,19 @@ class StorageServer:
             self.placement = place_round_robin(ranking, self.node_names)
         per_node_creates = creation_order(ranking, self.placement)
         rank_of = {file_id: rank for rank, file_id in enumerate(ranking)}
+        replicas = plan_replicas(
+            ranking,
+            self.placement,
+            self.node_names,
+            self.config.replication_factor,
+            self.config.replication_policy,
+        )
         for file_id in ranking:
             node = self.placement[file_id]
             size = trace.file(file_id).size_bytes
             self.metadata.register(file_id, node, size)
+            for holder in replicas.get(file_id, ()):
+                self.metadata.add_replica(file_id, holder)
         # Issue creates most-popular-first so each node can round-robin
         # its local disks by popularity (§III-B).
         create_events = []
@@ -149,6 +175,21 @@ class StorageServer:
                             size_bytes=size,
                             popularity_rank=rank_of[file_id],
                             target_disk=target_disk,
+                        ),
+                    )
+                )
+        # Replica creates ride along, also most-popular-first, so each
+        # holder's local round-robin still spreads the hot copies.
+        for file_id in ranking:
+            for holder in replicas.get(file_id, ()):
+                create_events.append(
+                    self.fabric.send(
+                        self.name,
+                        holder,
+                        CreateFile(
+                            file_id=file_id,
+                            size_bytes=trace.file(file_id).size_bytes,
+                            popularity_rank=rank_of[file_id],
                         ),
                     )
                 )
@@ -196,6 +237,10 @@ class StorageServer:
             and self.config.reprefetch_interval_s is not None
         ):
             self.sim.process(self._reprefetch_loop())
+        # Started only now: during setup every file is transiently
+        # "under-replicated" and the repair loop must not chase ghosts.
+        if self.config.replication_factor > 1 and self.config.rereplication_enabled:
+            self.repairer = ReplicationManager(self)
         return self.sim.now
 
     # -- dynamic re-prefetching (extension; PRE-BUD's "dynamically fetch") -------------
@@ -237,14 +282,48 @@ class StorageServer:
                 if self.config.server_overhead_s > 0:
                     yield self.sim.timeout(self.config.server_overhead_s)
                 self.online_log.append(self.sim.now, payload.file_id)
-                entry = self.metadata.lookup(payload.file_id)
+                holders = self.metadata.live_holders(payload.file_id)
+                if not holders:
+                    # Every holder is down: fail fast rather than strand
+                    # the client waiting on a crashed node.
+                    self.requests_unroutable += 1
+                    self.fabric.send(
+                        self.name,
+                        payload.client,
+                        RequestFailed(
+                            request_id=payload.request_id,
+                            file_id=payload.file_id,
+                            reason="no live holder",
+                        ),
+                    )
+                    continue
+                primary, backups = holders[0], tuple(holders[1:])
                 self.fabric.send(
-                    self.name, entry.node, ForwardedRequest(request=payload)
+                    self.name,
+                    primary,
+                    ForwardedRequest(request=payload, failover=backups),
                 )
                 self.requests_forwarded += 1
+                # Replicated writes fan out silently to the other holders
+                # so replicas never go stale; only the primary replies.
+                if (
+                    payload.op is RequestOp.WRITE
+                    and self.config.replicate_writes
+                    and backups
+                ):
+                    for holder in backups:
+                        self.fabric.send(
+                            self.name,
+                            holder,
+                            ForwardedRequest(request=payload, silent=True),
+                        )
+                        self.writes_fanned_out += 1
             elif isinstance(payload, PrefetchComplete):
                 self._prefetch_acks_pending -= 1
                 if self._prefetch_acks_pending == 0 and self._prefetch_all_acked:
                     self._prefetch_all_acked.succeed()
+            elif isinstance(payload, RepairComplete):
+                if self.repairer is not None:
+                    self.repairer.on_complete(payload)
             else:  # pragma: no cover - defensive
                 raise TypeError(f"server cannot handle {payload!r}")

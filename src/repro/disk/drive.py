@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -164,6 +165,14 @@ class SimDisk:
         self.inflight = 0
         self.requests_served = 0
         self.bytes_served = 0
+        #: Transient degradation: service times are multiplied by this
+        #: factor (1.0 = healthy; set via :meth:`set_slowdown`).
+        self.slowdown = 1.0
+        #: Injected spin-up failures still pending, and the back-off the
+        #: drive observes after each failed attempt before it may retry.
+        self._flaky_spinups = 0
+        self._flaky_backoff_s = 0.0
+        self.spinup_failures = 0
         self.service_times = TallyStat(name=f"{name}:service")
         #: Re-armed event that fires when a spin-up/down completes.
         self._transition_done: Event = sim.event()
@@ -238,8 +247,32 @@ class SimDisk:
         if self.spinup_jitter > 0:
             factor = 1.0 + self._rng.normal(0.0, self.spinup_jitter)
             duration *= min(2.0, max(0.5, factor))
+        if self._flaky_spinups > 0:
+            self._flaky_spinups -= 1
+            self.spinup_failures += 1
+            self.sim.process(self._failed_spinup(duration))
+            return True
         self._begin_transition(DiskState.SPIN_UP, DiskState.IDLE, duration)
         return True
+
+    def _failed_spinup(self, duration: float):
+        """An injected spin-up failure: the motor spends the full spin-up
+        (time and energy) but falls back to STANDBY, observes the injected
+        back-off, then releases waiters so the next attempt retries."""
+        self._set_state(DiskState.SPIN_UP)
+        self._transition_done = self.sim.event()
+        done = self._transition_done
+        yield self.sim.timeout(duration)
+        if self.state is DiskState.FAILED:
+            return  # the drive died mid-attempt; fail() settled `done`
+        self._set_state(DiskState.STANDBY)
+        if self._flaky_backoff_s > 0:
+            yield self.sim.timeout(self._flaky_backoff_s)
+        if done.triggered:
+            return  # the drive failed during the back-off
+        done.succeed()
+        if self.inflight > 0 and self.state is DiskState.STANDBY:
+            self.wake()
 
     def shift_down(self) -> bool:
         """Drop to the low-RPM operating point (multi-speed drives).
@@ -280,21 +313,36 @@ class SimDisk:
         """
         if self.state is DiskState.FAILED:
             return
-        was_transitioning = self.state.is_transitioning
         self._set_state(DiskState.FAILED)
         for request in self.queue.drain():
             self.inflight -= 1
             assert request.done is not None
             request.done.fail(DiskFailureError(self.name))
-        # Unblock a server loop parked on the transition; defused so an
-        # unwatched transition event cannot crash the simulation.
+        # Unblock a server loop parked on the transition (including a
+        # flaky spin-up's back-off window, when the state has already
+        # returned to STANDBY); defused so an unwatched transition event
+        # cannot crash the simulation.
         pending = self._transition_done
-        if was_transitioning and not pending.triggered:
+        if not pending.triggered:
             pending.fail(DiskFailureError(self.name))
             pending.defuse()
 
     def fail_at(self, time_s: float) -> None:
-        """Schedule :meth:`fail` at an absolute simulation time."""
+        """Schedule :meth:`fail` at an absolute simulation time.
+
+        .. deprecated::
+            Use a :class:`repro.faults.FaultSchedule` and pass it to
+            :class:`~repro.core.filesystem.EEVFSCluster` instead -- it
+            records the event in the run's fault log, supports repair,
+            and keeps fault times reproducible.  This hook will be
+            removed one release after the faults subsystem landed.
+        """
+        warnings.warn(
+            "SimDisk.fail_at is deprecated; declare failures on a "
+            "repro.faults.FaultSchedule instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if time_s < self.sim.now:
             raise ValueError(f"cannot fail in the past ({time_s!r} < {self.sim.now!r})")
 
@@ -303,6 +351,49 @@ class SimDisk:
             self.fail()
 
         self.sim.process(killer())
+
+    def repair(self) -> None:
+        """Undo a :meth:`fail`: the drive (or its controller) is replaced
+        and comes back spun down, with a fresh (empty) queue.
+
+        Data is modelled as intact after a repair -- the fault layer
+        treats a failure window as a controller/power outage, not a
+        media loss (media loss is what replication recovers from at the
+        cluster level).  No-op on a healthy drive.
+        """
+        if self.state is not DiskState.FAILED:
+            return
+        self._set_state(DiskState.STANDBY)
+        # The idle watchdog may have died waiting out the failed
+        # transition; re-arm it so power management resumes.
+        if self.auto_sleep_after is not None and (
+            self._watchdog is None or self._watchdog.triggered
+        ):
+            self._watchdog = self.sim.process(self._idle_watchdog())
+
+    def set_slowdown(self, factor: float) -> None:
+        """Degrade (or restore) the drive: service times scale by *factor*.
+
+        Models a transiently slow disk (vibration, media retries,
+        controller resets); 1.0 restores nominal service.
+        """
+        if factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1.0, got {factor!r}")
+        self.slowdown = float(factor)
+
+    def inject_spinup_failures(self, count: int, backoff_s: float = 1.0) -> None:
+        """Arm the next *count* spin-up attempts to fail.
+
+        Each failed attempt costs the full spin-up time and energy, drops
+        the drive back to STANDBY, and waits *backoff_s* before waiters
+        may retry -- the retry/back-off loop a real driver performs.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count!r}")
+        if backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {backoff_s!r}")
+        self._flaky_spinups = count
+        self._flaky_backoff_s = float(backoff_s)
 
     def finalize(self) -> None:
         """Close the energy account at the current time."""
@@ -368,15 +459,15 @@ class SimDisk:
                     yield self._transition_done
             except DiskFailureError as failure:
                 # The drive died while this request waited; fail it and
-                # park the (now pointless) server loop.
+                # go back to the queue (a repair may revive the drive).
                 self.inflight -= 1
                 assert request.done is not None
                 request.done.fail(failure)
-                return
+                continue
             low = self.state.is_low_speed
             self._set_state(DiskState.LOW_ACTIVE if low else DiskState.ACTIVE)
             model = self.service_low if low else self.service
-            duration = model.service_time(
+            duration = self.slowdown * model.service_time(
                 request.size_bytes, sequential=request.sequential
             )
             yield sim.timeout(duration)

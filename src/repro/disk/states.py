@@ -84,7 +84,11 @@ LEGAL_TRANSITIONS: dict[DiskState, frozenset[DiskState]] = {
     ),
     DiskState.SPIN_DOWN: frozenset({DiskState.STANDBY, DiskState.FAILED}),
     DiskState.STANDBY: frozenset({DiskState.SPIN_UP, DiskState.FAILED}),
-    DiskState.SPIN_UP: frozenset({DiskState.IDLE, DiskState.FAILED}),
+    # SPIN_UP -> STANDBY is a *failed* spin-up (fault injection): the
+    # motor did not reach speed and the drive falls back to standby.
+    DiskState.SPIN_UP: frozenset(
+        {DiskState.IDLE, DiskState.STANDBY, DiskState.FAILED}
+    ),
     DiskState.SHIFT_DOWN: frozenset({DiskState.LOW_IDLE, DiskState.FAILED}),
     DiskState.LOW_IDLE: frozenset(
         {
@@ -96,7 +100,10 @@ LEGAL_TRANSITIONS: dict[DiskState, frozenset[DiskState]] = {
     ),
     DiskState.LOW_ACTIVE: frozenset({DiskState.LOW_IDLE, DiskState.FAILED}),
     DiskState.SHIFT_UP: frozenset({DiskState.IDLE, DiskState.FAILED}),
-    DiskState.FAILED: frozenset(),  # terminal
+    # FAILED -> STANDBY is a *repair*: the drive (or its controller) is
+    # replaced/restarted by the fault-injection layer and comes back spun
+    # down.  Outside repro.faults the state remains terminal in practice.
+    DiskState.FAILED: frozenset({DiskState.STANDBY}),
 }
 
 

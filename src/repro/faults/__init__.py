@@ -1,0 +1,26 @@
+"""Fault injection for the EEVFS reproduction.
+
+Declarative schedules of disk/node failures, repairs, transient
+slowdowns and flaky spin-ups, driven by the simulation clock and
+recorded in a reproducible fault log:
+
+* :mod:`repro.faults.schedule` -- :class:`FaultSchedule` (what fails when,
+  fixed times or exponential MTBF/MTTR streams),
+* :mod:`repro.faults.injector` -- :class:`FaultInjector` (applies a
+  schedule to a live cluster),
+* :mod:`repro.faults.log` -- :class:`FaultLog` / :class:`FaultRecord`
+  (what actually happened; same seed => identical log).
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.log import FaultLog, FaultRecord
+from repro.faults.schedule import ExponentialFaults, FaultAction, FaultSchedule
+
+__all__ = [
+    "ExponentialFaults",
+    "FaultAction",
+    "FaultInjector",
+    "FaultLog",
+    "FaultRecord",
+    "FaultSchedule",
+]

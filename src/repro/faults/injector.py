@@ -1,0 +1,131 @@
+"""The fault injector: replays a :class:`FaultSchedule` against a cluster.
+
+The injector is harness-level machinery (like the client driver): it
+resolves schedule targets against a live :class:`EEVFSCluster`, walks the
+materialised actions on the simulation clock, applies each one to the
+hardware, and records everything in a :class:`~repro.faults.log.FaultLog`.
+
+Node-level events also update the storage server's node-liveness view --
+the stand-in for a heartbeat/membership service, collapsed to zero
+detection latency (a knob future work can add).
+
+Schedule times are relative to the *trace epoch*: the cluster facade
+starts the injector only once setup (placement + prefetch) completed, so
+``at=60`` always means one minute into the measured workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.faults.log import FaultLog
+from repro.faults.schedule import (
+    DISK_FAIL,
+    DISK_REPAIR,
+    DISK_RESTORE,
+    DISK_SLOW,
+    FaultAction,
+    FaultSchedule,
+    NODE_FAIL,
+    NODE_REPAIR,
+    SPINUP_FLAKY,
+)
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.filesystem import EEVFSCluster
+
+
+class FaultInjector:
+    """Applies a fault schedule to a wired cluster and logs the outcome."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: "EEVFSCluster",
+        schedule: FaultSchedule,
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.log = FaultLog()
+        self.actions = schedule.materialize(streams)
+        self._nodes = {node.spec.name: node for node in cluster.nodes}
+        self._disks: Dict[str, object] = {
+            disk.name: disk for node in cluster.nodes for disk in node.all_disks
+        }
+        for action in self.actions:  # fail fast on typos, before the run
+            self._resolve(action)
+        self._started = False
+
+    def start(self, epoch_s: float) -> None:
+        """Begin injecting; schedule times are offsets from *epoch_s*."""
+        if self._started:
+            raise RuntimeError("fault injector already started")
+        self._started = True
+        self.sim.process(self._run(epoch_s))
+
+    # -- internals ---------------------------------------------------------------
+
+    def _resolve(self, action: FaultAction):
+        """Target object for an action; raises KeyError on unknown names."""
+        if action.kind in (NODE_FAIL, NODE_REPAIR):
+            try:
+                return self._nodes[action.target]
+            except KeyError:
+                raise KeyError(f"unknown storage node: {action.target!r}") from None
+        try:
+            return self._disks[action.target]
+        except KeyError:
+            raise KeyError(f"unknown disk: {action.target!r}") from None
+
+    def _run(self, epoch_s: float):
+        for action in self.actions:
+            at = epoch_s + action.time_s
+            if at > self.sim.now:
+                yield self.sim.timeout(at - self.sim.now)
+            self._apply(action)
+
+    def _apply(self, action: FaultAction) -> None:
+        target = self._resolve(action)
+        t = self.sim.now
+        if action.kind == DISK_FAIL:
+            target.fail()
+            self.log.record(t, DISK_FAIL, action.target)
+        elif action.kind == DISK_REPAIR:
+            target.repair()
+            self.log.record(t, DISK_REPAIR, action.target)
+        elif action.kind == DISK_SLOW:
+            target.set_slowdown(action.value)
+            self.log.record(
+                t, DISK_SLOW, action.target, detail=f"x{action.value:g}"
+            )
+        elif action.kind == DISK_RESTORE:
+            target.set_slowdown(1.0)
+            self.log.record(t, DISK_RESTORE, action.target)
+        elif action.kind == SPINUP_FLAKY:
+            target.inject_spinup_failures(
+                int(action.value), backoff_s=action.value2
+            )
+            self.log.record(
+                t,
+                SPINUP_FLAKY,
+                action.target,
+                detail=f"next {int(action.value)} attempts",
+            )
+        elif action.kind == NODE_FAIL:
+            target.crash()
+            self.cluster.server.metadata.mark_node_down(action.target)
+            self.log.record(
+                t,
+                NODE_FAIL,
+                action.target,
+                detail=f"{len(target.all_disks)} disks down",
+            )
+        elif action.kind == NODE_REPAIR:
+            target.repair_node()
+            self.cluster.server.metadata.mark_node_up(action.target)
+            self.log.record(t, NODE_REPAIR, action.target)
+        else:  # pragma: no cover - schedule validates kinds
+            raise ValueError(f"unknown fault kind: {action.kind!r}")

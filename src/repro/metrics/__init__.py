@@ -8,7 +8,7 @@ plain-text tables/series.
 """
 
 from repro.metrics.comparison import PairedComparison, compare
-from repro.metrics.report import format_series, format_table
+from repro.metrics.report import format_series, format_table, summary_table
 from repro.metrics.wear import WearReport, wear_report
 from repro.metrics.breakdown import (
     EnergyBreakdown,
@@ -32,5 +32,6 @@ __all__ = [
     "format_table",
     "grouped_bar_chart",
     "state_time_breakdown",
+    "summary_table",
     "wear_report",
 ]

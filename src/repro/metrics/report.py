@@ -6,7 +6,10 @@ figures report; these helpers keep that output consistent and aligned.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.filesystem import RunResult
 
 
 def _fmt(value: object) -> str:
@@ -45,6 +48,46 @@ def format_table(
     for row in str_rows:
         lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
     return "\n".join(lines)
+
+
+def summary_table(
+    results: "Dict[str, RunResult]",
+    title: Optional[str] = None,
+) -> str:
+    """One row per named run: the paper's three metrics plus the fault
+    layer's two (requests failed, availability).
+
+    On a fault-free run the last two columns read ``0`` and ``1.000`` --
+    the table shape stays identical, so side-by-side output from degraded
+    and healthy runs lines up.
+    """
+    rows = [
+        [
+            name,
+            result.energy_j,
+            result.transitions,
+            result.mean_response_s,
+            result.buffer_hit_rate,
+            result.requests_total,
+            result.requests_failed,
+            result.availability,
+        ]
+        for name, result in results.items()
+    ]
+    return format_table(
+        [
+            "system",
+            "energy_J",
+            "transitions",
+            "mean_response_s",
+            "hit_rate",
+            "requests",
+            "failed",
+            "availability",
+        ],
+        rows,
+        title=title,
+    )
 
 
 def format_series(

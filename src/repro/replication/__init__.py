@@ -1,0 +1,26 @@
+"""Energy-aware replication for the EEVFS reproduction.
+
+Replica placement across storage nodes, degraded reads that fail over to
+surviving holders (or buffer-disk copies), and background re-replication
+that restores factor *k* after failures while respecting disk power
+state:
+
+* :mod:`repro.replication.policy` -- placement policies
+  (none / buffer-only, k-way round-robin, popularity-spread),
+* :mod:`repro.replication.repair` -- :class:`ReplicationManager`, the
+  server-side repair loop.
+"""
+
+from repro.replication.policy import (
+    REPLICATION_POLICIES,
+    holder_counts,
+    plan_replicas,
+)
+from repro.replication.repair import ReplicationManager
+
+__all__ = [
+    "REPLICATION_POLICIES",
+    "ReplicationManager",
+    "holder_counts",
+    "plan_replicas",
+]

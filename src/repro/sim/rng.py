@@ -44,6 +44,16 @@ class RandomStreams:
             self._streams[name] = gen
         return gen
 
+    def fault_stream(self, target: str) -> np.random.Generator:
+        """The dedicated fault-injection stream for one target.
+
+        Fault times drawn here depend only on the root seed and the
+        target name ("node1/data0", "node3", ...), never on how many
+        draws the workload streams made -- so the same seed produces the
+        same fault log whatever the trace generator does.
+        """
+        return self.stream(f"faults:{target}")
+
     def spawn(self, salt: int) -> "RandomStreams":
         """Derive an independent registry (e.g. per experiment repetition)."""
         return RandomStreams(seed=(self.seed * 1_000_003 + salt) & 0x7FFFFFFF)

@@ -7,6 +7,7 @@ from repro.core import EEVFSConfig
 from repro.core.filesystem import EEVFSCluster
 from repro.disk import ATA_80GB_TYPE1, DiskState, SimDisk
 from repro.disk.drive import DiskFailureError
+from repro.faults import FaultSchedule
 from repro.sim import Simulator
 from repro.traces import generate_synthetic_trace
 from repro.traces.synthetic import MB, SyntheticWorkload
@@ -100,13 +101,14 @@ class TestDriveFailure:
         assert outcomes == ["failed"]
         assert disk.state is DiskState.FAILED
 
-    def test_fail_at_schedules_failure(self):
+    def test_fail_at_schedules_failure_but_is_deprecated(self):
         sim = Simulator()
         disk = SimDisk(sim, SPEC)
-        disk.fail_at(25.0)
+        with pytest.warns(DeprecationWarning, match="FaultSchedule"):
+            disk.fail_at(25.0)
         sim.run(until=30.0)
         assert disk.state is DiskState.FAILED
-        with pytest.raises(ValueError):
+        with pytest.warns(DeprecationWarning), pytest.raises(ValueError):
             disk.fail_at(1.0)  # the past
 
     def test_power_manager_ignores_failed_disk(self):
@@ -130,30 +132,35 @@ class TestClusterUnderFailure:
         )
 
     def test_cluster_survives_data_disk_failure(self, trace):
-        cluster = EEVFSCluster(config=EEVFSConfig())
-        victim = cluster.nodes[0].data_disks[0]
-        victim.fail_at(50.0)
+        cluster = EEVFSCluster(
+            config=EEVFSConfig(),
+            faults=FaultSchedule().disk_fail("node1/data0", at=50.0),
+        )
         result = cluster.run(trace)
         # Every request got *an* answer -- data or explicit failure.
         assert result.requests_total + result.requests_failed == trace.n_requests
         assert result.requests_failed > 0
         assert len(cluster.client.failures) == result.requests_failed
+        assert result.fault_events == 1
 
     def test_prefetched_files_survive_their_data_disks(self, trace):
         """Buffer copies act as accidental replicas: reads of prefetched
         files keep succeeding after their data disk dies."""
-        cluster = EEVFSCluster(config=EEVFSConfig(prefetch_files=70))
+        cluster = EEVFSCluster(
+            config=EEVFSConfig(prefetch_files=70),
+            faults=FaultSchedule().disk_fail("node1/data0", at=10.0),
+        )
         node = cluster.nodes[0]
-        victim = node.data_disks[0]
-        victim.fail_at(10.0)
-        result = cluster.run(trace)
+        cluster.run(trace)
         failed_files = {file_id for _, file_id, _ in cluster.client.failures}
         for file_id in failed_files:
             assert not node.metadata.is_prefetched(file_id)
 
     def test_npf_cluster_survives_failure_too(self, trace):
-        cluster = EEVFSCluster(config=EEVFSConfig(prefetch_enabled=False))
-        cluster.nodes[2].data_disks[1].fail_at(30.0)
+        cluster = EEVFSCluster(
+            config=EEVFSConfig(prefetch_enabled=False),
+            faults=FaultSchedule().disk_fail("node3/data1", at=30.0),
+        )
         result = cluster.run(trace)
         assert result.requests_total + result.requests_failed == trace.n_requests
 

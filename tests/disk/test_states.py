@@ -24,6 +24,9 @@ def test_every_state_has_transition_entry():
         (DiskState.SPIN_DOWN, DiskState.STANDBY),
         (DiskState.STANDBY, DiskState.SPIN_UP),
         (DiskState.SPIN_UP, DiskState.IDLE),
+        (DiskState.SPIN_UP, DiskState.STANDBY),  # failed spin-up falls back
+        (DiskState.STANDBY, DiskState.FAILED),  # hardware fault
+        (DiskState.FAILED, DiskState.STANDBY),  # repair: comes back spun down
     ],
 )
 def test_legal_transitions_pass(source, target):
@@ -37,7 +40,6 @@ def test_legal_transitions_pass(source, target):
         (DiskState.ACTIVE, DiskState.STANDBY),
         (DiskState.STANDBY, DiskState.ACTIVE),  # must spin up first
         (DiskState.STANDBY, DiskState.IDLE),
-        (DiskState.SPIN_UP, DiskState.STANDBY),
         (DiskState.SPIN_DOWN, DiskState.IDLE),  # no transition abort
         (DiskState.IDLE, DiskState.STANDBY),
     ],
