@@ -1,0 +1,42 @@
+"""Tracked performance benchmark: writes ``BENCH_perf.json``.
+
+Runs the three perf families (engine throughput, single-run wall clock,
+serial-vs-parallel speedup) at benchmark scale and persists the JSON
+report at the repository root so successive commits can diff it.  The
+assertions here are about *validity* (schema complete, parallel results
+identical to serial), never about absolute speed -- machines differ.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.experiments.perf import (
+    DEFAULT_PATH,
+    SCHEMA,
+    run_perf_benchmark,
+    validate_report,
+)
+
+#: Scale knob shared with the other benchmarks (default: paper scale).
+N_REQUESTS = int(os.environ.get("EEVFS_BENCH_REQUESTS", "1000"))
+
+
+def _repo_root() -> Path:
+    return Path(__file__).resolve().parent.parent
+
+
+def test_perf_benchmark_writes_valid_report():
+    out = _repo_root() / DEFAULT_PATH
+    report = run_perf_benchmark(n_requests=N_REQUESTS, out_path=out)
+
+    assert validate_report(report) == []
+    assert report["schema"] == SCHEMA
+    assert report["engine"]["events"] > 0
+    assert report["engine"]["events_per_s"] > 0
+    assert report["single_run"]["runs_per_s"] > 0
+    assert report["parallel"]["identical_metrics"] is True
+
+    on_disk = json.loads(out.read_text())
+    assert validate_report(on_disk) == []
+    assert on_disk == json.loads(json.dumps(report))  # JSON round-trips

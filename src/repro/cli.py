@@ -40,7 +40,9 @@ def _cmd_figures(args: argparse.Namespace) -> None:
     wanted = set(args.figures or ["3", "4", "5", "6"])
     produced = []
     if wanted & {"3", "4", "5"}:
-        sweeps = run_all_sweeps(n_requests=args.requests, seed=args.seed)
+        sweeps = run_all_sweeps(
+            n_requests=args.requests, seed=args.seed, jobs=args.jobs
+        )
         builders = {"3": figure3, "4": figure4, "5": figure5}
         for key in ("3", "4", "5"):
             if key in wanted:
@@ -76,32 +78,11 @@ def _cmd_figures(args: argparse.Namespace) -> None:
 
 
 def _cmd_baselines(args: argparse.Namespace) -> None:
-    import numpy as np
+    from repro.experiments.baseline_suite import run_baseline_suite
 
-    from repro.baselines import (
-        run_alwayson,
-        run_drpm,
-        run_lowpower,
-        run_maid,
-        run_npf,
-        run_pdc,
+    runs = run_baseline_suite(
+        n_requests=args.requests, seed=args.seed, jobs=args.jobs
     )
-    from repro.core import EEVFSConfig, run_eevfs
-    from repro.traces.synthetic import MB, SyntheticWorkload, generate_synthetic_trace
-
-    trace = generate_synthetic_trace(
-        SyntheticWorkload(n_requests=args.requests),
-        rng=np.random.default_rng(1),
-    )
-    runs = {
-        "EEVFS-PF": run_eevfs(trace, EEVFSConfig(), seed=args.seed),
-        "EEVFS-NPF": run_npf(trace, seed=args.seed),
-        "Always-on": run_alwayson(trace, seed=args.seed),
-        "MAID": run_maid(trace, cache_bytes=700 * MB, seed=args.seed),
-        "PDC": run_pdc(trace, seed=args.seed),
-        "DRPM": run_drpm(trace, seed=args.seed),
-        "Low-power HW": run_lowpower(trace, seed=args.seed),
-    }
     print(
         summary_table(
             runs,
@@ -111,15 +92,30 @@ def _cmd_baselines(args: argparse.Namespace) -> None:
 
 
 def _cmd_ablations(args: argparse.Namespace) -> None:
-    print(ablate_idle_threshold(n_requests=args.requests, seed=args.seed).render())
+    jobs = args.jobs
+    print(
+        ablate_idle_threshold(
+            n_requests=args.requests, seed=args.seed, jobs=jobs
+        ).render()
+    )
     print()
-    print(ablate_hints(n_requests=args.requests, seed=args.seed).render())
+    print(ablate_hints(n_requests=args.requests, seed=args.seed, jobs=jobs).render())
     print()
-    print(ablate_disks_per_node(n_requests=args.requests, seed=args.seed).render())
+    print(
+        ablate_disks_per_node(
+            n_requests=args.requests, seed=args.seed, jobs=jobs
+        ).render()
+    )
     print()
-    print(ablate_window_predictor(n_requests=args.requests, seed=args.seed).render())
+    print(
+        ablate_window_predictor(
+            n_requests=args.requests, seed=args.seed, jobs=jobs
+        ).render()
+    )
     print()
-    modes = ablate_replay_mode(n_requests=min(args.requests, 500), seed=args.seed)
+    modes = ablate_replay_mode(
+        n_requests=min(args.requests, 500), seed=args.seed, jobs=jobs
+    )
     rows = [
         [mode, c.energy_savings_pct, c.pf.transitions, c.response_penalty_pct]
         for mode, c in modes.items()
@@ -289,6 +285,17 @@ def _cmd_faults(args: argparse.Namespace) -> None:
         )
 
 
+def _cmd_bench(args: argparse.Namespace) -> None:
+    from repro.experiments.perf import render_report, run_perf_benchmark
+
+    report = run_perf_benchmark(
+        n_requests=args.requests, jobs=args.jobs, out_path=args.out
+    )
+    print(render_report(report))
+    if args.out:
+        print(f"\nwritten to {args.out}")
+
+
 def _cmd_trace_gen(args: argparse.Namespace) -> None:
     import numpy as np
 
@@ -339,6 +346,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--requests", type=int, default=1000, help="trace length")
     parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for experiment fan-out (default: one per CPU)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("tables", help="print Tables I and II").set_defaults(
@@ -407,6 +420,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="replica placement policy",
     )
     faults.set_defaults(func=_cmd_faults)
+    bench = sub.add_parser(
+        "bench", help="performance benchmark (writes BENCH_perf.json)"
+    )
+    bench.add_argument(
+        "--out", default="BENCH_perf.json", help="output JSON path"
+    )
+    bench.set_defaults(func=_cmd_bench)
     gen = sub.add_parser("trace-gen", help="generate a workload trace file")
     gen.add_argument("kind", choices=["synthetic", "berkeley", "drifting"])
     gen.add_argument("path", help="output trace file")

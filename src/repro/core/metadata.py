@@ -40,6 +40,10 @@ class ServerMetadata:
         self._replicas: Dict[int, List[str]] = {}
         #: Nodes currently marked down by the (zero-latency) detector.
         self._down: Set[str] = set()
+        #: file -> live holder list, memoised per request-plane lookup.
+        #: Invalidated wholesale on membership changes and per file on
+        #: replica-set changes; entries are treated as immutable.
+        self._live_cache: Dict[int, List[str]] = {}
 
     def register(self, file_id: int, node: str, size_bytes: int) -> None:
         """Record a file's node placement; re-registration is an error."""
@@ -88,6 +92,7 @@ class ServerMetadata:
         if node == entry.node or node in holders:
             raise ValueError(f"node {node!r} already holds file {file_id}")
         holders.append(node)
+        self._live_cache.pop(file_id, None)
 
     def replica_count(self, file_id: int) -> int:
         """Total holders of a file (primary included)."""
@@ -100,8 +105,18 @@ class ServerMetadata:
         return [entry.node, *self._replicas.get(file_id, ())]
 
     def live_holders(self, file_id: int) -> List[str]:
-        """Holders currently believed up, primary (if live) first."""
-        return [n for n in self.holders(file_id) if n not in self._down]
+        """Holders currently believed up, primary (if live) first.
+
+        Hot path: the server consults this for every forwarded request,
+        so the computed list is cached until membership or the file's
+        replica set changes.  Callers must not mutate the result.
+        """
+        cached = self._live_cache.get(file_id)
+        if cached is not None:
+            return cached
+        live = [n for n in self.holders(file_id) if n not in self._down]
+        self._live_cache[file_id] = live
+        return live
 
     def under_replicated(self, factor: int) -> List[int]:
         """Files with fewer than *factor* live holders, sorted by id."""
@@ -118,10 +133,12 @@ class ServerMetadata:
     def mark_node_down(self, node: str) -> None:
         """Membership update: *node* is unreachable; route around it."""
         self._down.add(node)
+        self._live_cache.clear()
 
     def mark_node_up(self, node: str) -> None:
         """Membership update: *node* is back; its data is usable again."""
         self._down.discard(node)
+        self._live_cache.clear()
 
     def is_live(self, node: str) -> bool:
         return node not in self._down

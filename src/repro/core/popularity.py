@@ -18,10 +18,18 @@ from repro.traces.model import Trace
 
 
 class PopularityEstimator:
-    """Derives popularity orderings from an access log."""
+    """Derives popularity orderings from an access log.
+
+    Rankings are memoised against the log's version counter: placement,
+    prefetch planning and hint generation all ask for the same total
+    order, and recomputing the sort (plus the catalog merge) for each
+    caller was pure waste.
+    """
 
     def __init__(self, log: Optional[AccessLog] = None) -> None:
         self.log = log if log is not None else AccessLog()
+        #: (log version, catalog key) -> full ranking.
+        self._ranking_cache: dict = {}
 
     @classmethod
     def from_trace(cls, trace: Trace) -> "PopularityEstimator":
@@ -46,15 +54,34 @@ class PopularityEstimator:
         total order over the file system -- required by placement, which
         must place *every* file.
         """
+        cache_key = (
+            getattr(self.log, "version", None),
+            None if catalog is None else tuple(catalog),
+        )
+        if cache_key[0] is not None:
+            cached = self._ranking_cache.get(cache_key)
+            if cached is not None:
+                return list(cached)
         ranked = self.log.popularity_ranking()
         if catalog is None:
-            return ranked
-        seen = set(ranked)
-        tail = sorted(fid for fid in catalog if fid not in seen)
-        unknown = [fid for fid in ranked if fid not in set(catalog)]
-        if unknown:
-            raise ValueError(f"log contains files outside the catalog: {unknown[:5]}")
-        return ranked + tail
+            result = ranked
+        else:
+            seen = set(ranked)
+            catalog_set = set(catalog)
+            tail = sorted(fid for fid in catalog if fid not in seen)
+            unknown = [fid for fid in ranked if fid not in catalog_set]
+            if unknown:
+                raise ValueError(
+                    f"log contains files outside the catalog: {unknown[:5]}"
+                )
+            result = ranked + tail
+        if cache_key[0] is not None:
+            # Keep the cache tiny: one entry per (version, catalog) pair,
+            # dropping stale versions so a live log cannot grow it.
+            if len(self._ranking_cache) > 8:
+                self._ranking_cache.clear()
+            self._ranking_cache[cache_key] = result
+        return list(result)
 
     def top_k(self, k: int, catalog: Optional[Sequence[int]] = None) -> List[int]:
         """The K most popular files (the prefetch candidate list)."""

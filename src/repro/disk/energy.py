@@ -92,10 +92,20 @@ class EnergyMeter:
     ) -> None:
         self.spec = spec
         self.state = initial_state
+        # The spec never changes, so resolve the per-state power draw once
+        # instead of calling through the _POWER lambda on every transition.
+        # States a spec does not support (no low-speed mode) are skipped;
+        # validate_transition keeps the meter out of them anyway.
+        self._power_w_by_state = {}
+        for s, fn in self._POWER.items():
+            try:
+                self._power_w_by_state[s] = fn(spec)
+            except AttributeError:
+                pass
         self._power = TimeWeightedStat(
             name=f"{spec.name}:power",
             time=start_time,
-            level=self._POWER[initial_state](spec),
+            level=self._power_w_by_state[initial_state],
         )
         self.transition_count = 0
         self.spinup_count = 0
@@ -112,7 +122,7 @@ class EnergyMeter:
         """Move to *new_state* at *time*, accruing energy for the interval."""
         validate_transition(self.state, new_state)
         self.time_in_state[self.state] += time - self._last_time
-        self._power.update(time, self._POWER[new_state](self.spec))
+        self._power.update(time, self._power_w_by_state[new_state])
         if (self.state, new_state) in COUNTED_TRANSITIONS:
             self.transition_count += 1
             if new_state is DiskState.SPIN_DOWN:

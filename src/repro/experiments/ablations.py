@@ -15,22 +15,29 @@ These exercise the design choices DESIGN.md calls out:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.config import EEVFSConfig, default_cluster
 from repro.core.filesystem import EEVFSCluster
-from repro.experiments.runner import run_pair
 from repro.metrics.comparison import PairedComparison
 from repro.metrics.report import format_series
+from repro.parallel import JobSpec, TraceSpec, run_jobs
+from repro.traces.cache import cached_trace
 from repro.traces.model import Trace
-from repro.traces.synthetic import SyntheticWorkload, generate_synthetic_trace
+from repro.traces.synthetic import SyntheticWorkload
 
 
 def _default_trace(n_requests: int, trace_seed: int = 1) -> Trace:
-    return generate_synthetic_trace(
-        SyntheticWorkload(n_requests=n_requests), rng=np.random.default_rng(trace_seed)
+    return cached_trace(
+        "synthetic", SyntheticWorkload(n_requests=n_requests), trace_seed
+    )
+
+
+def _default_trace_spec(n_requests: int, trace_seed: int = 1) -> TraceSpec:
+    return TraceSpec(
+        workload=SyntheticWorkload(n_requests=n_requests), seed=trace_seed
     )
 
 
@@ -60,13 +67,22 @@ def ablate_idle_threshold(
     thresholds: Sequence[float] = (1.0, 2.0, 5.0, 10.0, 30.0),
     n_requests: int = 1000,
     seed: int = 0,
+    jobs: Optional[int] = 1,
 ) -> AblationResult:
     """Sweep the disk idle threshold around the paper's 5 s."""
-    trace = _default_trace(n_requests)
-    comparisons = [
-        run_pair(trace, config=EEVFSConfig(idle_threshold_s=t), seed=seed)
-        for t in thresholds
-    ]
+    trace = _default_trace_spec(n_requests)
+    comparisons = run_jobs(
+        [
+            JobSpec(
+                label=f"idle_threshold={t}",
+                trace=trace,
+                config=EEVFSConfig(idle_threshold_s=t),
+                seed=seed,
+            )
+            for t in thresholds
+        ],
+        jobs=jobs,
+    )
     return AblationResult(
         name="idle threshold",
         x_label="threshold_s",
@@ -75,18 +91,28 @@ def ablate_idle_threshold(
     )
 
 
-def ablate_hints(n_requests: int = 1000, seed: int = 0) -> AblationResult:
+def ablate_hints(
+    n_requests: int = 1000, seed: int = 0, jobs: Optional[int] = 1
+) -> AblationResult:
     """Hints + wake-ahead vs pure idle timers (§IV-C's two modes)."""
-    trace = _default_trace(n_requests)
-    with_hints = run_pair(trace, config=EEVFSConfig(), seed=seed)
-    without = run_pair(
-        trace, config=EEVFSConfig(use_hints=False, wake_ahead=False), seed=seed
+    trace = _default_trace_spec(n_requests)
+    comparisons = run_jobs(
+        [
+            JobSpec(label="hints=with", trace=trace, config=EEVFSConfig(), seed=seed),
+            JobSpec(
+                label="hints=without",
+                trace=trace,
+                config=EEVFSConfig(use_hints=False, wake_ahead=False),
+                seed=seed,
+            ),
+        ],
+        jobs=jobs,
     )
     return AblationResult(
         name="application hints",
         x_label="hints",
         x_values=["with", "without"],
-        comparisons=[with_hints, without],
+        comparisons=comparisons,
     )
 
 
@@ -94,15 +120,23 @@ def ablate_disks_per_node(
     disk_counts: Sequence[int] = (1, 2, 4, 8),
     n_requests: int = 1000,
     seed: int = 0,
+    jobs: Optional[int] = 1,
 ) -> AblationResult:
     """§VII: does adding data disks per node increase savings?"""
-    trace = _default_trace(n_requests)
-    comparisons = []
-    for count in disk_counts:
-        cluster = default_cluster(data_disks_per_node=count)
-        comparisons.append(
-            run_pair(trace, config=EEVFSConfig(), cluster=cluster, seed=seed)
-        )
+    trace = _default_trace_spec(n_requests)
+    comparisons = run_jobs(
+        [
+            JobSpec(
+                label=f"disks_per_node={count}",
+                trace=trace,
+                config=EEVFSConfig(),
+                cluster=default_cluster(data_disks_per_node=count),
+                seed=seed,
+            )
+            for count in disk_counts
+        ],
+        jobs=jobs,
+    )
     return AblationResult(
         name="data disks per node",
         x_label="disks_per_node",
@@ -111,15 +145,23 @@ def ablate_disks_per_node(
     )
 
 
-def ablate_window_predictor(n_requests: int = 1000, seed: int = 0) -> AblationResult:
+def ablate_window_predictor(
+    n_requests: int = 1000, seed: int = 0, jobs: Optional[int] = 1
+) -> AblationResult:
     """Sequence (drift-robust) vs time (timestamp-trusting) prediction."""
-    trace = _default_trace(n_requests)
-    comparisons = [
-        run_pair(
-            trace, config=EEVFSConfig(window_predictor=predictor), seed=seed
-        )
-        for predictor in ("sequence", "time")
-    ]
+    trace = _default_trace_spec(n_requests)
+    comparisons = run_jobs(
+        [
+            JobSpec(
+                label=f"window_predictor={predictor}",
+                trace=trace,
+                config=EEVFSConfig(window_predictor=predictor),
+                seed=seed,
+            )
+            for predictor in ("sequence", "time")
+        ],
+        jobs=jobs,
+    )
     return AblationResult(
         name="window predictor",
         x_label="predictor",
@@ -132,20 +174,28 @@ def ablate_striping(
     widths: Sequence[int] = (1, 2, 4),
     n_requests: int = 1000,
     seed: int = 0,
+    jobs: Optional[int] = 1,
 ) -> AblationResult:
     """§VII future work: striping vs energy savings.
 
     Uses 4 data disks per node so width-4 stripes exist; quantifies the
     performance-vs-savings tension (every miss wakes all stripe disks).
     """
-    trace = _default_trace(n_requests)
+    trace = _default_trace_spec(n_requests)
     cluster = default_cluster(data_disks_per_node=max(widths))
-    comparisons = [
-        run_pair(
-            trace, config=EEVFSConfig(stripe_width=w), cluster=cluster, seed=seed
-        )
-        for w in widths
-    ]
+    comparisons = run_jobs(
+        [
+            JobSpec(
+                label=f"stripe_width={w}",
+                trace=trace,
+                config=EEVFSConfig(stripe_width=w),
+                cluster=cluster,
+                seed=seed,
+            )
+            for w in widths
+        ],
+        jobs=jobs,
+    )
     return AblationResult(
         name="striping (§VII)",
         x_label="stripe_width",
@@ -157,6 +207,7 @@ def ablate_striping(
 def ablate_placement_policy(
     n_requests: int = 1000,
     seed: int = 0,
+    jobs: Optional[int] = 1,
 ) -> AblationResult:
     """Round-robin (§III-B) vs bandwidth-weighted placement.
 
@@ -164,11 +215,19 @@ def ablate_placement_policy(
     routes most traffic through gigabit nodes -- a response-time win the
     paper's hardware-oblivious policy leaves on the table.
     """
-    trace = _default_trace(n_requests)
-    comparisons = [
-        run_pair(trace, config=EEVFSConfig(placement_policy=policy), seed=seed)
-        for policy in ("round_robin", "bandwidth_weighted")
-    ]
+    trace = _default_trace_spec(n_requests)
+    comparisons = run_jobs(
+        [
+            JobSpec(
+                label=f"placement={policy}",
+                trace=trace,
+                config=EEVFSConfig(placement_policy=policy),
+                seed=seed,
+            )
+            for policy in ("round_robin", "bandwidth_weighted")
+        ],
+        jobs=jobs,
+    )
     return AblationResult(
         name="placement policy",
         x_label="policy",
@@ -208,6 +267,7 @@ def ablate_node_scaling(
     node_counts: Sequence[int] = (2, 4, 8, 16, 32),
     n_requests: int = 1000,
     seed: int = 0,
+    jobs: Optional[int] = 1,
 ) -> AblationResult:
     """Scalability: does the thin storage server stay out of the way?
 
@@ -218,18 +278,25 @@ def ablate_node_scaling(
     shrinks proportionally), so per-node load is constant; a scalable
     design keeps response time and savings flat.
     """
-    comparisons = []
+    specs = []
     for count in node_counts:
         half = max(1, count // 2)
-        cluster = default_cluster(n_type1=half, n_type2=count - half)
-        workload = SyntheticWorkload(
-            n_requests=n_requests,
-            inter_arrival_s=0.700 * 8.0 / count,
+        specs.append(
+            JobSpec(
+                label=f"nodes={count}",
+                trace=TraceSpec(
+                    workload=SyntheticWorkload(
+                        n_requests=n_requests,
+                        inter_arrival_s=0.700 * 8.0 / count,
+                    ),
+                    seed=1,
+                ),
+                config=EEVFSConfig(),
+                cluster=default_cluster(n_type1=half, n_type2=count - half),
+                seed=seed,
+            )
         )
-        trace = generate_synthetic_trace(workload, rng=np.random.default_rng(1))
-        comparisons.append(
-            run_pair(trace, config=EEVFSConfig(), cluster=cluster, seed=seed)
-        )
+    comparisons = run_jobs(specs, jobs=jobs)
     return AblationResult(
         name="node scaling (constant per-node load)",
         x_label="storage_nodes",
@@ -241,6 +308,7 @@ def ablate_node_scaling(
 def ablate_diurnal(
     n_requests: int = 1000,
     seed: int = 0,
+    jobs: Optional[int] = 1,
 ) -> AblationResult:
     """Bursty (diurnal) vs constant arrivals at matched volume and span.
 
@@ -251,20 +319,35 @@ def ablate_diurnal(
     arrangement, set the savings -- while bursts cost a little extra
     response time (queueing at the peaks).
     """
-    from repro.traces.diurnal import DiurnalWorkload, generate_diurnal_trace
+    from repro.traces.diurnal import DiurnalWorkload
 
-    diurnal_trace = generate_diurnal_trace(
-        DiurnalWorkload(n_requests=n_requests), rng=np.random.default_rng(4)
-    )
+    diurnal_workload = DiurnalWorkload(n_requests=n_requests)
+    # Generate the diurnal trace here (cached, so a jobs=1 worker reuses
+    # it) -- the constant comparator's inter-arrival is derived from it.
+    diurnal_trace = cached_trace("diurnal", diurnal_workload, 4)
     mean_ia = diurnal_trace.duration_s / max(1, diurnal_trace.n_requests - 1)
-    constant_trace = generate_synthetic_trace(
-        SyntheticWorkload(n_requests=n_requests, inter_arrival_s=mean_ia),
-        rng=np.random.default_rng(4),
+    comparisons = run_jobs(
+        [
+            JobSpec(
+                label="arrivals=diurnal",
+                trace=TraceSpec(kind="diurnal", workload=diurnal_workload, seed=4),
+                config=EEVFSConfig(),
+                seed=seed,
+            ),
+            JobSpec(
+                label="arrivals=constant",
+                trace=TraceSpec(
+                    workload=SyntheticWorkload(
+                        n_requests=n_requests, inter_arrival_s=mean_ia
+                    ),
+                    seed=4,
+                ),
+                config=EEVFSConfig(),
+                seed=seed,
+            ),
+        ],
+        jobs=jobs,
     )
-    comparisons = [
-        run_pair(diurnal_trace, config=EEVFSConfig(), seed=seed),
-        run_pair(constant_trace, config=EEVFSConfig(), seed=seed),
-    ]
     return AblationResult(
         name="diurnal vs constant arrivals",
         x_label="arrival_pattern",
@@ -277,18 +360,21 @@ def ablate_replay_mode(
     modes: Sequence[str] = ("open", "paced", "closed"),
     n_requests: int = 500,
     seed: int = 0,
+    jobs: Optional[int] = 1,
 ) -> Dict[str, PairedComparison]:
     """How the client replay discipline changes the headline numbers."""
-    from repro.metrics.comparison import compare
-
-    trace = _default_trace(n_requests)
-    out: Dict[str, PairedComparison] = {}
-    for mode in modes:
-        pf = EEVFSCluster(config=EEVFSConfig(), seed=seed).run(
-            trace, replay_mode=mode
-        )
-        npf = EEVFSCluster(config=EEVFSConfig().as_npf(), seed=seed).run(
-            trace, replay_mode=mode
-        )
-        out[mode] = compare(pf, npf)
-    return out
+    trace = _default_trace_spec(n_requests)
+    comparisons = run_jobs(
+        [
+            JobSpec(
+                label=f"replay_mode={mode}",
+                trace=trace,
+                config=EEVFSConfig(),
+                seed=seed,
+                replay_mode=mode,
+            )
+            for mode in modes
+        ],
+        jobs=jobs,
+    )
+    return dict(zip(modes, comparisons))

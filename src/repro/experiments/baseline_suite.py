@@ -1,0 +1,75 @@
+"""The baseline shoot-out as one parallel job batch.
+
+The seven comparators (EEVFS-PF plus the six energy-policy baselines)
+all replay the same trace independently -- there is no shared state to
+serialise -- so the suite is the textbook fan-out: one
+:class:`~repro.parallel.jobs.JobSpec` per system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import EEVFSConfig
+from repro.core.filesystem import RunResult
+from repro.parallel import JobSpec, TraceSpec, run_jobs
+from repro.traces.synthetic import MB, SyntheticWorkload
+
+#: Display name -> (baseline function suffix or None for EEVFS-PF,
+#: extra keyword arguments).  Order matches the historical report table.
+SUITE: List[Tuple[str, Optional[str], Tuple[Tuple[str, object], ...]]] = [
+    ("EEVFS-PF", None, ()),
+    ("EEVFS-NPF", "npf", ()),
+    ("Always-on", "alwayson", ()),
+    ("MAID", "maid", (("cache_bytes", 700 * MB),)),
+    ("PDC", "pdc", ()),
+    ("DRPM", "drpm", ()),
+    ("Low-power HW", "lowpower", ()),
+]
+
+
+def baseline_suite_specs(
+    n_requests: int = 1000,
+    seed: int = 0,
+    config: Optional[EEVFSConfig] = None,
+    trace_seed: int = 1,
+) -> List[JobSpec]:
+    """One job per comparator, all over the identical synthetic trace."""
+    trace = TraceSpec(workload=SyntheticWorkload(n_requests=n_requests), seed=trace_seed)
+    specs: List[JobSpec] = []
+    for name, baseline, kwargs in SUITE:
+        if baseline is None:
+            specs.append(
+                JobSpec(
+                    label=name,
+                    trace=trace,
+                    config=config or EEVFSConfig(),
+                    seed=seed,
+                    mode="eevfs",
+                )
+            )
+        else:
+            specs.append(
+                JobSpec(
+                    label=name,
+                    trace=trace,
+                    seed=seed,
+                    mode="baseline",
+                    baseline=baseline,
+                    baseline_kwargs=kwargs,
+                )
+            )
+    return specs
+
+
+def run_baseline_suite(
+    n_requests: int = 1000,
+    seed: int = 0,
+    config: Optional[EEVFSConfig] = None,
+    jobs: Optional[int] = 1,
+) -> Dict[str, RunResult]:
+    """Run every comparator; returns ``{display name: RunResult}`` in
+    table order."""
+    specs = baseline_suite_specs(n_requests=n_requests, seed=seed, config=config)
+    results = run_jobs(specs, jobs=jobs)
+    return {spec.label: result for spec, result in zip(specs, results)}

@@ -1,0 +1,185 @@
+"""Tracked performance benchmarks: engine throughput and fan-out speedup.
+
+:func:`run_perf_benchmark` measures three things and writes them to
+``BENCH_perf.json`` (schema ``eevfs-bench-perf/1``) so regressions show
+up as a diff rather than an anecdote:
+
+* **engine** -- raw event-loop throughput (events/second) on a synthetic
+  stress mix of timeouts, processes and resource contention;
+* **single_run** -- wall-clock and runs/second for one full EEVFS run at
+  the configured trace length;
+* **parallel** -- the same job batch executed with ``jobs=1`` and
+  ``jobs=N``, the observed speedup, and a strict equality check that the
+  two executions produced identical metrics.
+
+Numbers are machine-dependent; the JSON records the host's CPU count so
+results are comparable across commits on the same machine, not across
+machines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.core.config import EEVFSConfig
+from repro.core.filesystem import run_eevfs
+from repro.experiments.sweeps import sweep_specs
+from repro.parallel import default_jobs, run_jobs
+from repro.sim import Simulator
+from repro.traces.cache import cached_trace
+from repro.traces.synthetic import SyntheticWorkload
+
+SCHEMA = "eevfs-bench-perf/1"
+DEFAULT_PATH = Path("BENCH_perf.json")
+
+
+def engine_benchmark(horizon_s: float = 4000.0, n_procs: int = 64) -> Dict[str, Any]:
+    """Raw event-loop throughput on a contention-heavy synthetic mix."""
+    from repro.sim.resources import Resource
+
+    sim = Simulator()
+    shared = Resource(sim, capacity=4)
+
+    def worker(period: float):
+        while True:
+            with shared.request() as grant:
+                yield grant
+                yield sim.timeout(period)
+            yield sim.timeout(period * 0.5)
+
+    for i in range(n_procs):
+        sim.process(worker(0.25 + (i % 7) * 0.125))
+    start = time.perf_counter()
+    sim.run(until=horizon_s)
+    wall_s = time.perf_counter() - start
+    events = sim.events_processed
+    return {
+        "events": events,
+        "wall_s": wall_s,
+        "events_per_s": events / wall_s if wall_s > 0 else float("inf"),
+    }
+
+
+def single_run_benchmark(n_requests: int = 1000, repeats: int = 3) -> Dict[str, Any]:
+    """Best-of-N wall clock for one full EEVFS run."""
+    trace = cached_trace("synthetic", SyntheticWorkload(n_requests=n_requests), 1)
+    config = EEVFSConfig()
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        run_eevfs(trace, config=config, seed=0)
+        best = min(best, time.perf_counter() - start)
+    return {
+        "n_requests": n_requests,
+        "wall_s": best,
+        "runs_per_s": 1.0 / best if best > 0 else float("inf"),
+    }
+
+
+def _comparison_fingerprint(comparisons: List[Any]) -> List[tuple]:
+    """Exact metric tuples for equality checks between executions."""
+    return [
+        (
+            c.pf.energy_j,
+            c.pf.transitions,
+            c.pf.response_times.mean,
+            c.npf.energy_j,
+            c.npf.transitions,
+            c.npf.response_times.mean,
+        )
+        for c in comparisons
+    ]
+
+
+def parallel_benchmark(
+    n_requests: int = 200, jobs: Optional[int] = None
+) -> Dict[str, Any]:
+    """Serial vs parallel execution of one sweep's job batch."""
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    _, _, specs = sweep_specs("mu", n_requests=n_requests)
+
+    start = time.perf_counter()
+    serial = run_jobs(specs, jobs=1)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_jobs(specs, jobs=jobs)
+    parallel_s = time.perf_counter() - start
+
+    identical = _comparison_fingerprint(serial) == _comparison_fingerprint(parallel)
+    return {
+        "n_jobs_in_batch": len(specs),
+        "n_requests": n_requests,
+        "jobs": jobs,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s > 0 else float("inf"),
+        "identical_metrics": identical,
+    }
+
+
+def run_perf_benchmark(
+    n_requests: int = 300,
+    jobs: Optional[int] = None,
+    out_path: Optional[os.PathLike] = DEFAULT_PATH,
+) -> Dict[str, Any]:
+    """Run all three benchmark families; optionally write the JSON file."""
+    report = {
+        "schema": SCHEMA,
+        "cpu_count": os.cpu_count(),
+        "engine": engine_benchmark(),
+        "single_run": single_run_benchmark(n_requests=n_requests),
+        "parallel": parallel_benchmark(
+            n_requests=max(50, n_requests // 2), jobs=jobs
+        ),
+    }
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def validate_report(report: Dict[str, Any]) -> List[str]:
+    """Schema check for a perf report; returns problems (empty = valid)."""
+    problems: List[str] = []
+    if report.get("schema") != SCHEMA:
+        problems.append(f"schema is {report.get('schema')!r}, expected {SCHEMA!r}")
+    for section, keys in (
+        ("engine", ("events", "wall_s", "events_per_s")),
+        ("single_run", ("n_requests", "wall_s", "runs_per_s")),
+        ("parallel", ("jobs", "serial_s", "parallel_s", "speedup", "identical_metrics")),
+    ):
+        body = report.get(section)
+        if not isinstance(body, dict):
+            problems.append(f"missing section {section!r}")
+            continue
+        for key in keys:
+            if key not in body:
+                problems.append(f"{section}.{key} missing")
+    parallel = report.get("parallel")
+    if isinstance(parallel, dict) and parallel.get("identical_metrics") is not True:
+        problems.append("parallel.identical_metrics is not True")
+    return problems
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """Human-readable one-screen summary of a perf report."""
+    engine = report["engine"]
+    single = report["single_run"]
+    parallel = report["parallel"]
+    return "\n".join(
+        [
+            f"engine      {engine['events_per_s']:,.0f} events/s "
+            f"({engine['events']:,} events in {engine['wall_s']:.2f} s)",
+            f"single run  {single['wall_s']:.3f} s at {single['n_requests']} "
+            f"requests ({single['runs_per_s']:.2f} runs/s)",
+            f"parallel    {parallel['speedup']:.2f}x with jobs={parallel['jobs']} "
+            f"over {parallel['n_jobs_in_batch']} jobs "
+            f"(serial {parallel['serial_s']:.2f} s -> "
+            f"parallel {parallel['parallel_s']:.2f} s); "
+            f"identical metrics: {parallel['identical_metrics']}",
+        ]
+    )

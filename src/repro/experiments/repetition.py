@@ -16,9 +16,9 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.core.config import ClusterSpec, EEVFSConfig
-from repro.experiments.runner import run_pair
 from repro.metrics.comparison import PairedComparison
-from repro.traces.synthetic import SyntheticWorkload, generate_synthetic_trace
+from repro.parallel import JobSpec, TraceSpec, run_jobs
+from repro.traces.synthetic import SyntheticWorkload
 
 #: Two-sided 95 % t critical values for small sample sizes (df 1..30).
 _T95 = {
@@ -104,31 +104,35 @@ def repeat_pair(
     cluster: Optional[ClusterSpec] = None,
     seeds: Sequence[int] = (0, 1, 2, 3, 4),
     vary_trace: bool = True,
+    jobs: Optional[int] = 1,
 ) -> RepetitionResult:
     """Run the PF/NPF pair once per seed and aggregate.
 
     ``vary_trace=True`` redraws the workload per seed (both sources of
     randomness vary); False replays one fixed trace so only simulation
-    jitter varies.
+    jitter varies.  Traces are identified by their rng seed and fetched
+    from the process-wide cache, so the fixed trace is generated once no
+    matter how many seeds repeat it.  ``jobs`` fans the seeds out over
+    worker processes.
     """
     if not seeds:
         raise ValueError("need at least one seed")
     workload = workload or SyntheticWorkload()
-    comparisons: List[PairedComparison] = []
-    fixed_trace = (
-        None
-        if vary_trace
-        else generate_synthetic_trace(workload, rng=np.random.default_rng(1))
-    )
-    for seed in seeds:
-        trace = (
-            generate_synthetic_trace(
-                workload, rng=np.random.default_rng(1000 + seed)
-            )
-            if vary_trace
-            else fixed_trace
+    specs = [
+        JobSpec(
+            label=f"repetition:seed={seed}",
+            trace=TraceSpec(
+                workload=workload,
+                seed=(1000 + seed) if vary_trace else 1,
+            ),
+            config=config,
+            cluster=cluster,
+            seed=seed,
+            mode="pair",
         )
-        comparisons.append(run_pair(trace, config=config, cluster=cluster, seed=seed))
+        for seed in seeds
+    ]
+    comparisons: List[PairedComparison] = run_jobs(specs, jobs=jobs)
     return RepetitionResult(
         savings_pct=RepeatedMetric(
             "energy savings (%)",

@@ -13,10 +13,11 @@ count for quick runs (tests use it); 1.0 is the paper's 1000 requests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import ClusterSpec, EEVFSConfig, PARAMETER_GRID
-from repro.experiments.runner import PairResult, run_pair_for_workload
+from repro.experiments.runner import PairResult
+from repro.parallel import JobSpec, TraceSpec, run_jobs
 from repro.traces.synthetic import MB, SyntheticWorkload
 
 #: Sweep name -> (workload/config field, Table-II values).
@@ -65,6 +66,37 @@ def _config_for(sweep: str, value: object, base: EEVFSConfig) -> EEVFSConfig:
     return base
 
 
+def sweep_specs(
+    sweep: str,
+    values: Optional[Sequence[object]] = None,
+    n_requests: int = 1000,
+    config: Optional[EEVFSConfig] = None,
+    cluster: Optional[ClusterSpec] = None,
+    seed: int = 0,
+    trace_seed: int = 1,
+) -> Tuple[str, List[object], List[JobSpec]]:
+    """Describe one sweep as independent jobs (one PF/NPF pair per value)."""
+    if sweep not in SWEEPS:
+        raise ValueError(f"unknown sweep {sweep!r}; options: {sorted(SWEEPS)}")
+    parameter, default_values = SWEEPS[sweep]
+    values = list(default_values if values is None else values)
+    base_config = config or EEVFSConfig()
+    specs = [
+        JobSpec(
+            label=f"{sweep}:{parameter}={value}",
+            trace=TraceSpec(
+                workload=_workload_for(sweep, value, n_requests), seed=trace_seed
+            ),
+            config=_config_for(sweep, value, base_config),
+            cluster=cluster,
+            seed=seed,
+            mode="pair",
+        )
+        for value in values
+    ]
+    return parameter, values, specs
+
+
 def run_sweep(
     sweep: str,
     values: Optional[Sequence[object]] = None,
@@ -72,24 +104,27 @@ def run_sweep(
     config: Optional[EEVFSConfig] = None,
     cluster: Optional[ClusterSpec] = None,
     seed: int = 0,
+    jobs: Optional[int] = 1,
 ) -> List[PairResult]:
-    """Run one Table-II sweep; returns one :class:`PairResult` per value."""
-    if sweep not in SWEEPS:
-        raise ValueError(f"unknown sweep {sweep!r}; options: {sorted(SWEEPS)}")
-    parameter, default_values = SWEEPS[sweep]
-    values = list(default_values if values is None else values)
-    base_config = config or EEVFSConfig()
-    results: List[PairResult] = []
-    for value in values:
-        workload = _workload_for(sweep, value, n_requests)
-        point_config = _config_for(sweep, value, base_config)
-        comparison = run_pair_for_workload(
-            workload, config=point_config, cluster=cluster, seed=seed
-        )
-        results.append(
-            PairResult(parameter=parameter, value=value, comparison=comparison)
-        )
-    return results
+    """Run one Table-II sweep; returns one :class:`PairResult` per value.
+
+    ``jobs`` fans the per-value pairs out over worker processes (``None``
+    = one per CPU).  Results are identical to ``jobs=1`` -- every value
+    is an independent (trace, config, seed) triple.
+    """
+    parameter, values, specs = sweep_specs(
+        sweep,
+        values=values,
+        n_requests=n_requests,
+        config=config,
+        cluster=cluster,
+        seed=seed,
+    )
+    comparisons = run_jobs(specs, jobs=jobs)
+    return [
+        PairResult(parameter=parameter, value=value, comparison=comparison)
+        for value, comparison in zip(values, comparisons)
+    ]
 
 
 def run_all_sweeps(
@@ -98,16 +133,27 @@ def run_all_sweeps(
     cluster: Optional[ClusterSpec] = None,
     seed: int = 0,
     sweeps: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = 1,
 ) -> SweepSet:
-    """Execute every Table-II sweep once (the Figs. 3/4/5 corpus)."""
+    """Execute every Table-II sweep once (the Figs. 3/4/5 corpus).
+
+    All four sweeps' points are submitted as one job batch, so with
+    ``jobs > 1`` the slow tail of one sweep overlaps the start of the
+    next instead of running sweep-by-sweep.
+    """
     selected = list(sweeps) if sweeps is not None else sorted(SWEEPS)
     sweep_set = SweepSet(n_requests=n_requests, seed=seed)
-    for sweep in selected:
-        sweep_set.results[sweep] = run_sweep(
-            sweep,
-            n_requests=n_requests,
-            config=config,
-            cluster=cluster,
-            seed=seed,
+    batches = [
+        sweep_specs(
+            sweep, n_requests=n_requests, config=config, cluster=cluster, seed=seed
         )
+        for sweep in selected
+    ]
+    flat = [spec for _, _, specs in batches for spec in specs]
+    comparisons = iter(run_jobs(flat, jobs=jobs))
+    for sweep, (parameter, values, specs) in zip(selected, batches):
+        sweep_set.results[sweep] = [
+            PairResult(parameter=parameter, value=value, comparison=next(comparisons))
+            for value in values
+        ]
     return sweep_set

@@ -1,0 +1,21 @@
+"""Parallel experiment execution.
+
+Experiments decompose into independent ``(workload, config, seed)``
+runs; this package fans them out over worker processes.  See
+:mod:`repro.parallel.jobs` for the picklable job descriptions and
+:mod:`repro.parallel.pool` for the execution contract (deterministic
+ordering, serial fallback, attributable failures).
+"""
+
+from repro.parallel.jobs import JobFailed, JobSpec, TraceSpec, execute_job
+from repro.parallel.pool import default_jobs, resolve_jobs, run_jobs
+
+__all__ = [
+    "JobFailed",
+    "JobSpec",
+    "TraceSpec",
+    "default_jobs",
+    "execute_job",
+    "resolve_jobs",
+    "run_jobs",
+]

@@ -5,7 +5,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Generator, Iterable, Optional
 
-from repro.sim.events import AllOf, AnyOf, Event, PENDING, Timeout, URGENT
+from repro.sim.events import AllOf, AnyOf, Event, NORMAL, PENDING, Timeout, URGENT
 from repro.sim.process import Process
 
 
@@ -48,6 +48,7 @@ class Simulator:
         self._now = float(start_time)
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
+        self._events_processed = 0
         #: The process currently being resumed (used by Interrupt plumbing).
         self.active_process: Optional[Process] = None
 
@@ -57,6 +58,11 @@ class Simulator:
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total events processed by :meth:`step` (throughput metric)."""
+        return self._events_processed
 
     # -- scheduling ----------------------------------------------------------
 
@@ -83,8 +89,27 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that succeeds after *delay* seconds."""
-        return Timeout(self, delay, value)
+        """Create an event that succeeds after *delay* seconds.
+
+        This is the engine's hottest allocation site (every I/O, transfer
+        and sleep goes through it), so the event is assembled inline --
+        pre-triggered, bypassing ``Timeout.__init__``'s constructor chain
+        and the extra :meth:`schedule` call -- rather than via the plain
+        ``Timeout(...)`` constructor that external callers use.
+        """
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        event = Timeout.__new__(Timeout)
+        event.sim = self
+        event.callbacks = []
+        event._value = value
+        event._exc = None
+        event._ok = True
+        event._defused = False
+        event.delay = delay
+        heapq.heappush(self._heap, (self._now + delay, NORMAL, self._seq, event))
+        self._seq += 1
+        return event
 
     def process(self, generator: Generator) -> Process:
         """Start *generator* as a process; returns its completion event."""
@@ -112,6 +137,7 @@ class Simulator:
         except IndexError:
             raise EmptySchedule() from None
 
+        self._events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:  # pragma: no cover - defensive; never rescheduled
             return
@@ -133,6 +159,7 @@ class Simulator:
           its value (raising the event's exception if it failed).
         """
         stop: Optional[Event] = None
+        internal_stop = False
         if until is not None:
             if isinstance(until, Event):
                 stop = until
@@ -147,13 +174,32 @@ class Simulator:
                 stop = Event(self)
                 stop._ok = True
                 stop._value = None
+                internal_stop = True
                 self.schedule(stop, delay=at - self._now, priority=URGENT)
             assert stop.callbacks is not None
             stop.callbacks.append(self._stop_callback)
 
+        heappop = heapq.heappop
+        heap = self._heap
         try:
+            # The step() body is inlined here: one Python-level call per
+            # event is the single largest fixed cost of the run loop.
             while True:
-                self.step()
+                try:
+                    self._now, _, _, event = heappop(heap)
+                except IndexError:
+                    raise EmptySchedule() from None
+                self._events_processed += 1
+                callbacks, event.callbacks = event.callbacks, None
+                if callbacks is None:  # pragma: no cover - defensive
+                    continue
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    # Nobody waited on this failure: surface it.
+                    exc = event._exc
+                    assert exc is not None
+                    raise exc
         except StopSimulation as end:
             return end.value
         except EmptySchedule:
@@ -162,6 +208,27 @@ class Simulator:
                 # further and report nothing happened.
                 return None
             return None
+        finally:
+            # Defuse the stop event on every exit path so a later run()
+            # cannot trip over it.  Without this, an exception escaping a
+            # process (or an `until` event that never fired) leaves
+            # _stop_callback armed: the *next* run() would either end
+            # spuriously at the stale deadline or stop the moment the old
+            # `until` event finally triggers.
+            if stop is not None and stop.callbacks is not None:
+                try:
+                    stop.callbacks.remove(self._stop_callback)
+                except ValueError:  # pragma: no cover - already detached
+                    pass
+                if internal_stop:
+                    # Our own deadline event is still sitting in the heap;
+                    # pull it so an until-free run cannot pointlessly
+                    # advance the clock to the abandoned deadline.
+                    stop._defused = True
+                    entries = [e for e in self._heap if e[3] is not stop]
+                    if len(entries) != len(self._heap):
+                        self._heap = entries
+                        heapq.heapify(self._heap)
 
     @staticmethod
     def _stop_callback(event: Event) -> None:

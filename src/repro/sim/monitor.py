@@ -13,16 +13,25 @@ Three collectors cover everything the reproduction measures:
 from __future__ import annotations
 
 import math
+from array import array
 from typing import Any, Iterable, Optional
 
 
 class TallyStat:
-    """Streaming mean/variance/min/max over discrete observations."""
+    """Streaming mean/variance/min/max over discrete observations.
+
+    Retained samples live in a compact ``array('d')`` buffer rather than a
+    Python list: one machine double per observation instead of a boxed
+    float object, which matters when every simulated request records into
+    several of these.
+    """
+
+    __slots__ = ("name", "keep_samples", "samples", "_n", "_mean", "_m2", "_min", "_max")
 
     def __init__(self, name: str = "", keep_samples: bool = False) -> None:
         self.name = name
         self.keep_samples = keep_samples
-        self.samples: list[float] = []
+        self.samples: array = array("d")
         self._n = 0
         self._mean = 0.0
         self._m2 = 0.0
@@ -32,14 +41,16 @@ class TallyStat:
     def record(self, value: float) -> None:
         """Add one observation."""
         value = float(value)
-        if math.isnan(value):
+        if value != value:  # NaN check without a math.isnan call
             raise ValueError(f"{self.name or 'TallyStat'}: NaN observation")
         self._n += 1
         delta = value - self._mean
         self._mean += delta / self._n
         self._m2 += delta * (value - self._mean)
-        self._min = min(self._min, value)
-        self._max = max(self._max, value)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
         if self.keep_samples:
             self.samples.append(value)
 
@@ -120,6 +131,8 @@ class TimeWeightedStat:
     turning instantaneous power (W) into energy (J).
     """
 
+    __slots__ = ("name", "_start", "_last_time", "_level", "_integral", "_min", "_max")
+
     def __init__(self, name: str = "", time: float = 0.0, level: float = 0.0) -> None:
         self.name = name
         self._start = float(time)
@@ -185,21 +198,28 @@ class TimeWeightedStat:
 
 
 class Recorder:
-    """A raw, append-only ``(time, value)`` series."""
+    """A raw, append-only ``(time, value)`` series.
+
+    Timestamps live in an ``array('d')`` buffer (values stay a list --
+    they are arbitrary objects, e.g. disk states).
+    """
+
+    __slots__ = ("name", "times", "values")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
-        self.times: list[float] = []
+        self.times: array = array("d")
         self.values: list[Any] = []
 
     def record(self, time: float, value: Any) -> None:
         """Append one sample; time must be non-decreasing."""
-        if self.times and time < self.times[-1]:
+        times = self.times
+        if times and time < times[-1]:
             raise ValueError(
                 f"{self.name or 'Recorder'}: time moved backwards "
-                f"({time!r} < {self.times[-1]!r})"
+                f"({time!r} < {times[-1]!r})"
             )
-        self.times.append(float(time))
+        times.append(float(time))
         self.values.append(value)
 
     def __len__(self) -> int:

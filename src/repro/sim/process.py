@@ -9,6 +9,7 @@ raises, so processes can wait on each other directly.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.sim.events import Event, PENDING, URGENT
@@ -41,7 +42,14 @@ class Process(Event):
     def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"process requires a generator, got {generator!r}")
-        super().__init__(sim)
+        # Inline Event.__init__ -- one process is created per network
+        # message and disk transfer, so the extra frame is measurable.
+        self.sim = sim
+        self.callbacks = []
+        self._value = PENDING
+        self._exc = None
+        self._ok = True
+        self._defused = False
         self._generator = generator
         self.name = name or getattr(generator, "__name__", type(generator).__name__)
         #: The event this process currently waits on (None before start /
@@ -49,12 +57,14 @@ class Process(Event):
         self._target: Optional[Event] = None
 
         # Kick-off event: resume the generator for the first time "now".
+        # Assembled inline (no schedule() call) -- every network message
+        # and disk transfer spawns a process, making this a hot path.
         start = Event(sim)
         start._ok = True
         start._value = None
-        assert start.callbacks is not None
         start.callbacks.append(self._resume)
-        sim.schedule(start, delay=0.0, priority=URGENT)
+        heappush(sim._heap, (sim._now, URGENT, sim._seq, start))
+        sim._seq += 1
         self._target = start
 
     # -- state ----------------------------------------------------------------
@@ -122,13 +132,15 @@ class Process(Event):
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value
-                sim.schedule(self, delay=0.0)
+                heappush(sim._heap, (sim._now, 1, sim._seq, self))
+                sim._seq += 1
                 break
             except BaseException as exc:
                 self._ok = False
                 self._exc = exc
                 self._value = exc
-                sim.schedule(self, delay=0.0)
+                heappush(sim._heap, (sim._now, 1, sim._seq, self))
+                sim._seq += 1
                 break
 
             bad: Optional[BaseException] = None
@@ -156,7 +168,8 @@ class Process(Event):
             # Already processed: consume immediately without a heap trip.
             event = target
 
-        self._target = None if self._value is not PENDING else self._target
+        if self._value is not PENDING:
+            self._target = None
         sim.active_process = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

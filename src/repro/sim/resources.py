@@ -8,9 +8,10 @@ order deterministic and auditable.
 
 from __future__ import annotations
 
+from bisect import insort_right
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
-from repro.sim.events import Event
+from repro.sim.events import Event, PENDING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulator
@@ -29,12 +30,27 @@ class Request(Event):
     __slots__ = ("resource", "priority", "_key")
 
     def __init__(self, resource: "Resource", priority: int = 0) -> None:
-        super().__init__(resource.sim)
+        # Inline Event.__init__ -- every disk and NIC grant allocates a
+        # Request, making this the second-busiest constructor after
+        # Process.
+        self.sim = resource.sim
+        self.callbacks = []
+        self._value = PENDING
+        self._exc = None
+        self._ok = True
+        self._defused = False
         self.resource = resource
         self.priority = priority
         self._key = (priority, resource._ticket())
-        resource._queue.append(self)
-        resource._queue.sort(key=lambda r: r._key)
+        # Tickets increase monotonically, so an equal-or-lower-priority
+        # arrival belongs at the tail -- the overwhelmingly common case
+        # (every plain FIFO request).  Only a genuinely higher-priority
+        # arrival pays the O(log n) insertion; never a full re-sort.
+        queue = resource._queue
+        if not queue or queue[-1]._key <= self._key:
+            queue.append(self)
+        else:
+            insort_right(queue, self, key=lambda r: r._key)
         resource._trigger_grants()
 
     def __enter__(self) -> "Request":

@@ -12,6 +12,8 @@ provides:
   (documented substitution for the 1998 UCB trace used in Fig. 6),
 * :mod:`repro.traces.logio`     -- the append-only access log and trace
   file round-tripping,
+* :mod:`repro.traces.cache`     -- deterministic trace memoisation (one
+  generation per (kind, workload, seed) per process),
 * :mod:`repro.traces.stats`     -- popularity and skew statistics.
 """
 
@@ -20,6 +22,7 @@ from repro.traces.synthetic import SyntheticWorkload, generate_synthetic_trace
 from repro.traces.berkeley import BerkeleyWebWorkload, generate_berkeley_like_trace
 from repro.traces.nonstationary import DriftingWorkload, generate_drifting_trace
 from repro.traces.diurnal import DiurnalWorkload, generate_diurnal_trace
+from repro.traces.cache import TraceCache, cached_trace
 from repro.traces.importers import read_msr_trace, read_spc_trace
 from repro.traces.logio import AccessLog, read_trace, write_trace
 from repro.traces.stats import (
@@ -42,8 +45,10 @@ __all__ = [
     "RequestOp",
     "SyntheticWorkload",
     "Trace",
+    "TraceCache",
     "TraceRequest",
     "access_counts",
+    "cached_trace",
     "coverage_of_top_k",
     "generate_berkeley_like_trace",
     "generate_synthetic_trace",

@@ -111,6 +111,18 @@ class AccessLog:
     def __init__(self) -> None:
         self._times: List[float] = []
         self._file_ids: List[int] = []
+        #: Whole-log access counts, maintained incrementally so the
+        #: common no-window popularity query never rescans the log.
+        self._total_counts: Counter = Counter()
+        #: Monotone version: bumps on every append.  Memoised derived
+        #: views (full-log ranking, estimator caches) key off this.
+        self._version = 0
+        self._ranking_cache: Optional[tuple] = None  # (version, ranking)
+
+    @property
+    def version(self) -> int:
+        """Monotone counter identifying the log's current content."""
+        return self._version
 
     def append(self, time_s: float, file_id: int) -> None:
         """Record one access."""
@@ -121,8 +133,11 @@ class AccessLog:
             )
         if file_id < 0:
             raise ValueError(f"file_id must be >= 0, got {file_id!r}")
+        file_id = int(file_id)
         self._times.append(float(time_s))
-        self._file_ids.append(int(file_id))
+        self._file_ids.append(file_id)
+        self._total_counts[file_id] += 1
+        self._version += 1
 
     def record_trace(self, trace: Trace) -> None:
         """Bulk-append every request of *trace* (Fig. 2 step 2 bootstrap)."""
@@ -138,6 +153,8 @@ class AccessLog:
         until: Optional[float] = None,
     ) -> Counter:
         """Access counts per file over ``[since, until]`` (inclusive)."""
+        if since is None and until is None:
+            return Counter(self._total_counts)
         lo = 0 if since is None else bisect_left(self._times, since)
         hi = len(self._times) if until is None else bisect_right(self._times, until)
         return Counter(self._file_ids[lo:hi])
@@ -150,8 +167,18 @@ class AccessLog:
         """File ids sorted by descending access count (ties: lower id first).
 
         This is the ordering the storage server uses both for placement
-        (§III-B) and for choosing what to prefetch (§IV-B).
+        (§III-B) and for choosing what to prefetch (§IV-B).  The
+        whole-log ranking is memoised against the log version, so
+        repeated queries between appends cost a copy, not a sort.
         """
+        if since is None and until is None:
+            cached = self._ranking_cache
+            if cached is not None and cached[0] == self._version:
+                return list(cached[1])
+            counts = self._total_counts
+            ranking = sorted(counts, key=lambda fid: (-counts[fid], fid))
+            self._ranking_cache = (self._version, ranking)
+            return list(ranking)
         counts = self.counts(since=since, until=until)
         return sorted(counts, key=lambda fid: (-counts[fid], fid))
 

@@ -1,0 +1,70 @@
+"""JobSpec construction, execution modes, and failure attribution."""
+
+import pytest
+
+from repro.core.filesystem import RunResult
+from repro.metrics.comparison import PairedComparison
+from repro.parallel import JobFailed, JobSpec, TraceSpec, execute_job, resolve_jobs, run_jobs
+from repro.traces.synthetic import SyntheticWorkload
+
+SMALL = TraceSpec(workload=SyntheticWorkload(n_requests=30))
+
+
+def test_pair_mode_returns_comparison():
+    result = execute_job(JobSpec(label="pair", trace=SMALL))
+    assert isinstance(result, PairedComparison)
+
+
+def test_eevfs_mode_returns_run_result():
+    result = execute_job(JobSpec(label="single", trace=SMALL, mode="eevfs"))
+    assert isinstance(result, RunResult)
+
+
+def test_baseline_mode_runs_named_comparator():
+    result = execute_job(
+        JobSpec(label="npf", trace=SMALL, mode="baseline", baseline="npf")
+    )
+    assert isinstance(result, RunResult)
+    assert result.transitions == 0  # NPF never spins disks down
+
+
+def test_unknown_mode_rejected_at_construction():
+    with pytest.raises(ValueError, match="unknown mode"):
+        JobSpec(label="bad", trace=SMALL, mode="warp")
+
+
+def test_baseline_mode_requires_name():
+    with pytest.raises(ValueError, match="baseline name"):
+        JobSpec(label="bad", trace=SMALL, mode="baseline")
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_failing_job_names_the_spec(jobs):
+    specs = [
+        JobSpec(label="fine", trace=SMALL),
+        JobSpec(label="doomed", trace=SMALL, mode="baseline", baseline="ghost"),
+    ]
+    with pytest.raises(JobFailed, match="doomed") as info:
+        run_jobs(specs, jobs=jobs)
+    assert info.value.spec.label == "doomed"
+    assert "ghost" in str(info.value)
+
+
+def test_resolve_jobs_clamps_to_work():
+    assert resolve_jobs(8, 3) == 3
+    assert resolve_jobs(2, 100) == 2
+    assert resolve_jobs(None, 1) == 1
+    with pytest.raises(ValueError):
+        resolve_jobs(0, 5)
+
+
+def test_empty_batch_returns_empty():
+    assert run_jobs([], jobs=4) == []
+
+
+def test_replay_mode_travels_with_the_spec():
+    paced = execute_job(JobSpec(label="paced", trace=SMALL))
+    closed = execute_job(JobSpec(label="closed", trace=SMALL, replay_mode="closed"))
+    # Both are valid comparisons; closed replay reshapes the arrival
+    # process, so the runs must actually differ.
+    assert paced.pf.end_s != closed.pf.end_s

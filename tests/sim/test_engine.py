@@ -220,3 +220,72 @@ def test_many_events_keep_heap_order(rng_values=200):
         sim.process(proc(d))
     sim.run()
     assert seen == sorted(delays)
+
+
+def test_run_until_time_leaves_no_stale_stop_after_exception():
+    # An exception escaping a process during run(until=<float>) used to
+    # leave the armed deadline event in the heap; the next run() would
+    # silently stop at the stale deadline instead of running to
+    # exhaustion.
+    sim = Simulator()
+
+    def boom():
+        yield sim.timeout(1.0)
+        raise RuntimeError("boom")
+
+    sim.process(boom())
+    with pytest.raises(RuntimeError):
+        sim.run(until=100.0)
+    assert sim.queue_size == 0  # stale stop event must be gone
+
+    done = []
+
+    def late():
+        yield sim.timeout(5.0)
+        done.append(sim.now)
+
+    sim.process(late())
+    sim.run()
+    assert done == [6.0]
+    assert sim.now == 6.0  # not dragged forward to the stale until=100
+
+
+def test_run_until_event_never_fired_does_not_stop_later_run():
+    # run(until=<Event>) that returns without the event firing used to
+    # leave _stop_callback subscribed; triggering the event later would
+    # abort an unrelated run() mid-flight.
+    sim = Simulator()
+    gate = sim.event()
+
+    def worker():
+        yield sim.timeout(1.0)
+
+    sim.process(worker())
+    assert sim.run(until=gate) is None  # heap drained, gate never fired
+
+    ticks = []
+
+    def ticker():
+        for _ in range(3):
+            yield sim.timeout(1.0)
+            ticks.append(sim.now)
+        gate.succeed("late")  # must NOT stop the run below
+
+    sim.process(ticker())
+    sim.run()
+    assert ticks == [2.0, 3.0, 4.0]
+
+
+def test_run_until_time_reusable_after_clean_stop():
+    sim = Simulator()
+
+    def ticker():
+        while True:
+            yield sim.timeout(1.0)
+
+    sim.process(ticker())
+    sim.run(until=3.0)
+    assert sim.now == 3.0
+    sim.run(until=7.0)
+    assert sim.now == 7.0
+    assert sim.events_processed > 0
