@@ -10,15 +10,14 @@ Also asserts the determinism contract: one seed => one fault log,
 event for event.
 """
 
-import numpy as np
-
 from conftest import N_REQUESTS
+import numpy as np
 
 from repro.core import EEVFSConfig
 from repro.core.filesystem import EEVFSCluster, run_eevfs
 from repro.faults import FaultSchedule
 from repro.metrics.report import summary_table
-from repro.traces.synthetic import SyntheticWorkload, generate_synthetic_trace
+from repro.traces.synthetic import generate_synthetic_trace, SyntheticWorkload
 
 
 def _trace():

@@ -6,14 +6,13 @@ layout concentration (PDC) skews load; caching without sleeping saves
 nothing.
 """
 
-import numpy as np
-
 from conftest import N_REQUESTS
+import numpy as np
 
 from repro.baselines import run_alwayson, run_drpm, run_maid, run_npf, run_pdc
 from repro.core import EEVFSConfig, run_eevfs
 from repro.metrics.report import format_table
-from repro.traces.synthetic import MB, SyntheticWorkload, generate_synthetic_trace
+from repro.traces.synthetic import generate_synthetic_trace, MB, SyntheticWorkload
 
 
 def _trace():

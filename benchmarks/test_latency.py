@@ -6,13 +6,12 @@ state transitions"), made explicit: the PF-minus-NPF delta must live in
 the disk component (spin-up waits), not the network.
 """
 
-import numpy as np
-
 from conftest import N_REQUESTS
+import numpy as np
 
 from repro.core import EEVFSConfig, run_eevfs
 from repro.metrics.report import format_table
-from repro.traces.synthetic import SyntheticWorkload, generate_synthetic_trace
+from repro.traces.synthetic import generate_synthetic_trace, SyntheticWorkload
 
 
 def test_latency_decomposition(benchmark):

@@ -13,8 +13,8 @@ from pathlib import Path
 
 from repro.experiments.perf import (
     DEFAULT_PATH,
-    SCHEMA,
     run_perf_benchmark,
+    SCHEMA,
     validate_report,
 )
 

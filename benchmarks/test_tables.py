@@ -1,6 +1,6 @@
 """Tables I and II regeneration (configuration fidelity checks)."""
 
-from repro.core.config import PARAMETER_GRID, default_cluster
+from repro.core.config import default_cluster, PARAMETER_GRID
 from repro.disk.specs import MB
 from repro.experiments.tables import table1, table2
 

@@ -33,12 +33,12 @@ Package map
 
 from repro.core import (
     ClusterSpec,
+    default_cluster,
     EEVFSCluster,
     EEVFSConfig,
     NodeSpec,
-    RunResult,
-    default_cluster,
     run_eevfs,
+    RunResult,
 )
 
 __version__ = "1.0.0"

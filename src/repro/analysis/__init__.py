@@ -7,16 +7,12 @@ model for sleep/wake energy -- and the test suite requires the simulator
 to agree with the analytics in the regimes where the analytics hold.
 """
 
-from repro.analysis.queueing import (
-    mg1_mean_response_s,
-    mg1_mean_wait_s,
-    utilization,
-)
 from repro.analysis.energymodel import (
     predicted_npf_energy_j,
     predicted_pf_energy_j,
     predicted_savings_fraction,
 )
+from repro.analysis.queueing import mg1_mean_response_s, mg1_mean_wait_s, utilization
 
 __all__ = [
     "mg1_mean_response_s",

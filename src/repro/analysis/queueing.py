@@ -70,6 +70,6 @@ def mixture_moments(
         raise ValueError(f"probabilities must sum to 1, got {total!r}")
     if any(p < 0 for p in probabilities):
         raise ValueError("probabilities must be >= 0")
-    mean = sum(p * s for p, s in zip(probabilities, service_times))
-    second = sum(p * s * s for p, s in zip(probabilities, service_times))
+    mean = sum(p * s for p, s in zip(probabilities, service_times, strict=True))
+    second = sum(p * s * s for p, s in zip(probabilities, service_times, strict=True))
     return mean, second

@@ -15,13 +15,13 @@ energy/transitions/response time are attributable purely to policy:
   prefetching bounds.
 """
 
-from repro.baselines.npf import npf_config, run_npf
 from repro.baselines.alwayson import alwayson_config, run_alwayson
-from repro.baselines.maid import LRUFileCache, MAIDNode, maid_config, run_maid
-from repro.baselines.pdc import pdc_config, run_pdc
-from repro.baselines.oracle import run_oracle, run_with_stale_popularity
+from repro.baselines.drpm import drpm_cluster, drpm_config, DRPMNode, run_drpm
 from repro.baselines.lowpower import lowpower_cluster, run_lowpower
-from repro.baselines.drpm import DRPMNode, drpm_cluster, drpm_config, run_drpm
+from repro.baselines.maid import LRUFileCache, maid_config, MAIDNode, run_maid
+from repro.baselines.npf import npf_config, run_npf
+from repro.baselines.oracle import run_oracle, run_with_stale_popularity
+from repro.baselines.pdc import pdc_config, run_pdc
 
 __all__ = [
     "DRPMNode",

@@ -13,7 +13,7 @@ from dataclasses import replace
 from typing import Optional
 
 from repro.core.config import ClusterSpec, EEVFSConfig
-from repro.core.filesystem import RunResult, run_eevfs
+from repro.core.filesystem import run_eevfs, RunResult
 from repro.traces.model import Trace
 
 

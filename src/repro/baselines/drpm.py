@@ -19,10 +19,10 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Optional
 
-from repro.core.config import ClusterSpec, EEVFSConfig, default_cluster
+from repro.core.config import ClusterSpec, default_cluster, EEVFSConfig
 from repro.core.filesystem import EEVFSCluster, RunResult
 from repro.core.node import StorageNode
-from repro.disk.specs import MULTISPEED_80GB, DiskSpec
+from repro.disk.specs import DiskSpec, MULTISPEED_80GB
 from repro.traces.model import Trace
 
 

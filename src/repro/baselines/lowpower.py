@@ -18,9 +18,9 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Optional
 
-from repro.core.config import ClusterSpec, EEVFSConfig, default_cluster
-from repro.core.filesystem import RunResult, run_eevfs
-from repro.disk.specs import LOWPOWER_25IN_160GB, DiskSpec
+from repro.core.config import ClusterSpec, default_cluster, EEVFSConfig
+from repro.core.filesystem import run_eevfs, RunResult
+from repro.disk.specs import DiskSpec, LOWPOWER_25IN_160GB
 from repro.traces.model import Trace
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.config import ClusterSpec, EEVFSConfig
-from repro.core.filesystem import RunResult, run_eevfs
+from repro.core.filesystem import run_eevfs, RunResult
 from repro.traces.model import Trace
 
 

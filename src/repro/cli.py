@@ -193,6 +193,32 @@ def _cmd_verify(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def _cmd_lint(args: argparse.Namespace) -> None:
+    from repro.devtools import all_rules
+    from repro.devtools.runner import apply_fixes, lint_paths, render_json, render_text
+
+    select = [s for part in (args.select or []) for s in part.split(",") if s]
+    if args.list_rules:
+        for rule in all_rules(select or None):
+            print(f"{rule.id}  {rule.summary}")
+            if rule.rationale:
+                print(f"        {rule.rationale}")
+        return
+    paths = args.paths or ["src"]
+    result = lint_paths(paths, select=select or None)
+    if args.fix:
+        fixed = apply_fixes(result, select=select or None)
+        if fixed:
+            print(f"applied {fixed} fix(es); re-checking")
+        result = lint_paths(paths, select=select or None)
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    if not result.ok:
+        raise SystemExit(1)
+
+
 def _cmd_wear(args: argparse.Namespace) -> None:
     import numpy as np
 
@@ -437,6 +463,28 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("trace-stats", help="summarise a trace file")
     stats.add_argument("path", help="trace file (see repro.traces.logio)")
     stats.set_defaults(func=_cmd_trace_stats)
+    lint = sub.add_parser(
+        "lint", help="simlint: determinism & simulation-invariant checks"
+    )
+    lint.add_argument(
+        "paths", nargs="*", help="files/directories to check (default: src)"
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text", help="output format"
+    )
+    lint.add_argument(
+        "--select",
+        action="append",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--fix", action="store_true", help="apply mechanical fixes in place"
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="describe the rules and exit"
+    )
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -24,12 +24,12 @@ Module map (paper section in parentheses):
 
 from repro.core.config import (
     ClusterSpec,
+    default_cluster,
     EEVFSConfig,
     NodeSpec,
     PARAMETER_GRID,
-    default_cluster,
 )
-from repro.core.filesystem import EEVFSCluster, RunResult, run_eevfs
+from repro.core.filesystem import EEVFSCluster, run_eevfs, RunResult
 
 __all__ = [
     "ClusterSpec",

@@ -14,9 +14,9 @@ from typing import Dict, Optional
 from repro.core.protocol import (
     FileData,
     FileRequest,
+    next_request_id,
     RequestFailed,
     WriteAck,
-    next_request_id,
 )
 from repro.net.fabric import Fabric
 from repro.sim.engine import Simulator

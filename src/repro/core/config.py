@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import List, Optional
 
-from repro.disk.specs import ATA_80GB_TYPE1, ATA_80GB_TYPE2, SATA_120GB_SERVER, DiskSpec
+from repro.disk.specs import ATA_80GB_TYPE1, ATA_80GB_TYPE2, DiskSpec, SATA_120GB_SERVER
 from repro.net.link import FAST_ETHERNET_BPS, GIGABIT_ETHERNET_BPS
 
 MB = 1024 * 1024

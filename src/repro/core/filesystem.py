@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.client import ClientDriver
-from repro.core.config import ClusterSpec, EEVFSConfig, default_cluster
+from repro.core.config import ClusterSpec, default_cluster, EEVFSConfig
 from repro.core.node import StorageNode
 from repro.core.server import StorageServer
 from repro.faults.injector import FaultInjector

@@ -34,8 +34,8 @@ Two window predictors are provided:
 
 from __future__ import annotations
 
-import math
 from collections import deque
+import math
 from typing import Deque, List, Optional, Sequence
 
 from repro.core.prediction import effective_threshold

@@ -8,8 +8,8 @@ size (set by the sender to the file size).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
+import itertools
 from typing import Dict, Tuple
 
 from repro.traces.model import RequestOp

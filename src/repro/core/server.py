@@ -28,7 +28,7 @@ from repro.core.placement import (
     place_weighted,
 )
 from repro.core.popularity import PopularityEstimator
-from repro.core.prefetch import PrefetchPlan, plan_prefetch
+from repro.core.prefetch import plan_prefetch, PrefetchPlan
 from repro.core.protocol import (
     AccessHints,
     CreateFile,

@@ -1,0 +1,44 @@
+"""Developer tooling: the ``simlint`` static-analysis suite and the
+runtime determinism sanitizer.
+
+The reproduction's headline claims (EEVFS energy savings, PF-vs-NPF
+parity, serial-vs-parallel byte-identical metrics) rest on invariants
+nothing in the language enforces: every stochastic draw must flow
+through named :class:`~repro.sim.rng.RandomStreams`, simulation code
+must never read the wall clock, and everything crossing the
+``repro.parallel`` process-pool boundary must be picklable.  This
+package turns those conventions into tooling:
+
+* :mod:`repro.devtools.diagnostics` -- file/line-anchored findings,
+* :mod:`repro.devtools.suppress`    -- ``# simlint: ignore[rule]`` comments,
+* :mod:`repro.devtools.rules`       -- the rule engine and registry,
+* :mod:`repro.devtools.checks`      -- the DET/PAR/SIM rule implementations,
+* :mod:`repro.devtools.runner`      -- file walking, rendering, fixing,
+* :mod:`repro.devtools.sanitizer`   -- runtime event-stream digests.
+
+Run it as ``eevfs lint [paths...]`` (see :mod:`repro.cli`).
+"""
+
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.rules import all_rules, LintConfig, Rule
+from repro.devtools.runner import lint_paths, render_json, render_text
+from repro.devtools.sanitizer import (
+    assert_deterministic,
+    DeterminismError,
+    digest_run,
+    EventStreamHasher,
+)
+
+__all__ = [
+    "DeterminismError",
+    "Diagnostic",
+    "EventStreamHasher",
+    "LintConfig",
+    "Rule",
+    "all_rules",
+    "assert_deterministic",
+    "digest_run",
+    "lint_paths",
+    "render_json",
+    "render_text",
+]

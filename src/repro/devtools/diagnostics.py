@@ -1,0 +1,41 @@
+"""File/line-anchored lint findings.
+
+A :class:`Diagnostic` is one finding of one rule at one source location.
+Diagnostics sort by (path, line, column, rule) so output order is stable
+across runs and machines -- the linter holds itself to the determinism
+bar it enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: *rule* fired at *path*:*line*:*col* with *message*."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    #: Whether the rule that produced this finding can rewrite the code
+    #: (``eevfs lint --fix``).
+    fixable: bool = False
+
+    def format(self) -> str:
+        """Human-readable one-liner (``path:line:col: RULE message``)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form (the ``--format json`` record schema)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "fixable": self.fixable,
+        }

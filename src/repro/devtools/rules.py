@@ -1,0 +1,219 @@
+"""The simlint rule engine.
+
+A :class:`Rule` inspects one parsed source file (a :class:`LintContext`)
+and yields :class:`~repro.devtools.diagnostics.Diagnostic` findings.
+Rules register themselves in a module-level registry via
+:func:`register`; :func:`all_rules` instantiates the full set (importing
+:mod:`repro.devtools.checks` on first use so the registry is populated).
+
+Path scoping
+------------
+Most rules only apply to parts of the tree (wall-clock reads are fine in
+the perf harness, raw RNG construction is fine inside ``sim/rng.py``).
+Scoping works on *posix path suffixes*: a scope of ``"repro/sim"``
+matches any file whose path contains that package directory, and
+``"repro/sim/rng.py"`` matches exactly that module wherever the tree is
+checked out.  Test fixtures exercise scoped rules by mimicking the
+package layout under their fixture directory.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.devtools.diagnostics import Diagnostic
+
+
+def _posix(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def path_in_scope(path: str, scopes: Sequence[str]) -> bool:
+    """Whether *path* falls under any of the *scopes* (suffix match)."""
+    posix = _posix(path)
+    for scope in scopes:
+        if scope.endswith(".py"):
+            if posix.endswith(scope):
+                return True
+        elif f"/{scope.rstrip('/')}/" in f"/{posix}":
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Where each scoped rule looks; override in tests or odd layouts."""
+
+    #: The one module allowed to construct raw generators (DET001).
+    rng_module: str = "repro/sim/rng.py"
+    #: Paths allowed to read the wall clock (DET002).
+    wallclock_allowed: tuple[str, ...] = (
+        "repro/experiments/perf.py",
+        "benchmarks",
+        "repro/cli.py",
+    )
+    #: Packages whose iteration order feeds event scheduling or metric
+    #: accumulation (DET003).
+    ordered_packages: tuple[str, ...] = (
+        "repro/sim",
+        "repro/core",
+        "repro/disk",
+        "repro/faults",
+        "repro/replication",
+        "repro/net",
+    )
+    #: Modules whose objects cross the process-pool pickle boundary
+    #: (PAR001): the specs themselves plus everything their fields hold.
+    picklable_modules: tuple[str, ...] = (
+        "repro/parallel",
+        "repro/core/config.py",
+        "repro/traces/model.py",
+        "repro/traces/synthetic.py",
+        "repro/traces/berkeley.py",
+        "repro/traces/nonstationary.py",
+        "repro/traces/diurnal.py",
+    )
+    #: Packages where a swallowed exception can hide event-loop
+    #: corruption (SIM001).
+    event_loop_packages: tuple[str, ...] = (
+        "repro/sim",
+        "repro/disk",
+        "repro/faults",
+    )
+    #: Modules whose classes must declare ``__slots__`` (SIM002).
+    slotted_modules: tuple[str, ...] = (
+        "repro/sim/monitor.py",
+        "repro/sim/resources.py",
+    )
+
+
+@dataclass
+class LintContext:
+    """One file, parsed once, shared by every rule."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    config: LintConfig = field(default_factory=LintConfig)
+
+    @property
+    def lines(self) -> list[str]:
+        return self.source.splitlines()
+
+
+@dataclass(frozen=True)
+class Edit:
+    """A single-line replacement produced by a rule fixer.
+
+    ``line`` is 1-based; ``new_text`` replaces the whole line (or, when
+    ``insert=True``, is inserted *before* it).  Fixers only make edits
+    whose correctness is mechanical; anything judgement-shaped stays a
+    diagnostic.
+    """
+
+    line: int
+    new_text: str
+    insert: bool = False
+
+
+class Rule:
+    """Base class: subclasses set ``id``/``summary`` and implement ``check``."""
+
+    id: str = ""
+    summary: str = ""
+    #: Why the invariant matters (surfaced by ``eevfs lint --list-rules``).
+    rationale: str = ""
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        """Path-based scoping; default: every file."""
+        return True
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def fix(self, ctx: LintContext, diagnostic: Diagnostic) -> Edit | None:
+        """Mechanical rewrite for *diagnostic*, if the rule supports one."""
+        return None
+
+    def diagnostic(
+        self, ctx: LintContext, node: ast.AST, message: str, fixable: bool = False
+    ) -> Diagnostic:
+        return Diagnostic(
+            path=_posix(ctx.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            message=message,
+            fixable=fixable,
+        )
+
+
+#: Registered rule classes, in registration (= documentation) order.
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding *cls* to the rule registry."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id: {cls.id}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules(select: Iterable[str] | None = None) -> list[Rule]:
+    """Instantiate every registered rule (optionally a subset by id)."""
+    # Importing the checks module populates the registry on first use.
+    import repro.devtools.checks  # noqa: F401  (import-for-side-effect)
+
+    wanted = None if select is None else {s.strip().upper() for s in select}
+    rules = [cls() for rule_id, cls in _REGISTRY.items() if wanted is None or rule_id in wanted]
+    if wanted is not None:
+        unknown = wanted - set(_REGISTRY)
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    return rules
+
+
+def check_file(
+    path: str,
+    source: str,
+    config: LintConfig | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> list[Diagnostic]:
+    """Run *rules* (default: all) over one file's source.
+
+    Returns diagnostics sorted by location; suppression filtering happens
+    in the runner so callers can also inspect raw findings.
+    """
+    config = config or LintConfig()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=_posix(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1 if exc.offset is not None else 1,
+                rule="E999",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    ctx = LintContext(path=path, source=source, tree=tree, config=config)
+    findings: list[Diagnostic] = []
+    for rule in rules if rules is not None else all_rules():
+        if rule.applies_to(ctx):
+            findings.extend(rule.check(ctx))
+    return sorted(findings)
+
+
+def with_config(config: LintConfig, **overrides: object) -> LintConfig:
+    """A copy of *config* with selected fields replaced (test helper)."""
+    return replace(config, **overrides)
+
+
+#: Signature of the per-file source loader (swappable in tests).
+SourceLoader = Callable[[str], str]

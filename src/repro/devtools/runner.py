@@ -1,0 +1,193 @@
+"""Running simlint over files and trees.
+
+:func:`lint_paths` is the programmatic entry point (the ``eevfs lint``
+subcommand is a thin argparse shim over it): walk the given files and
+directories, check every ``*.py`` file, drop findings silenced by
+``# simlint:`` pragmas, and return the surviving diagnostics sorted by
+location.  :func:`apply_fixes` rewrites files in place for the subset of
+findings whose rules provide a mechanical fix.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+import json
+import os
+from typing import Iterable, Iterator, Sequence
+
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.rules import (
+    all_rules,
+    check_file,
+    Edit,
+    LintConfig,
+    LintContext,
+    Rule,
+)
+from repro.devtools.suppress import scan_suppressions
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset(
+    {".git", "__pycache__", ".mypy_cache", ".ruff_cache", ".pytest_cache", "build", "dist"}
+)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield every ``*.py`` file under *paths* (files pass through as-is),
+    in sorted order so runs are reproducible."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    yield os.path.join(dirpath, name)
+
+
+@dataclass
+class LintResult:
+    """Outcome of one :func:`lint_paths` run."""
+
+    #: Findings that survived suppression, sorted by location.
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Files checked (after walking), in check order.
+    files: list[str] = field(default_factory=list)
+    #: Findings silenced by pragmas (visible for ``--show-suppressed``
+    #: style tooling and for tests).
+    suppressed: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+
+def lint_source(
+    path: str,
+    source: str,
+    config: LintConfig | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> tuple[list[Diagnostic], list[Diagnostic]]:
+    """Check one in-memory source; returns (active, suppressed) findings."""
+    findings = check_file(path, source, config=config, rules=rules)
+    suppressions = scan_suppressions(source)
+    active: list[Diagnostic] = []
+    suppressed: list[Diagnostic] = []
+    for diag in findings:
+        if suppressions.is_suppressed(diag.line, diag.rule):
+            suppressed.append(diag)
+        else:
+            active.append(diag)
+    return active, suppressed
+
+
+def lint_paths(
+    paths: Sequence[str],
+    config: LintConfig | None = None,
+    select: Iterable[str] | None = None,
+) -> LintResult:
+    """Lint every Python file reachable from *paths*."""
+    rules = all_rules(select)
+    result = LintResult()
+    for filename in iter_python_files(paths):
+        try:
+            with open(filename, encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            result.diagnostics.append(
+                Diagnostic(
+                    path=filename.replace("\\", "/"),
+                    line=1,
+                    col=1,
+                    rule="E902",
+                    message=f"cannot read file: {exc}",
+                )
+            )
+            continue
+        result.files.append(filename)
+        active, suppressed = lint_source(filename, source, config=config, rules=rules)
+        result.diagnostics.extend(active)
+        result.suppressed.extend(suppressed)
+    result.diagnostics.sort()
+    result.suppressed.sort()
+    return result
+
+
+def apply_fixes(
+    result: LintResult,
+    config: LintConfig | None = None,
+    select: Iterable[str] | None = None,
+) -> int:
+    """Rewrite files in place for every fixable finding in *result*.
+
+    Edits are computed per file from a fresh parse and applied bottom-up
+    so earlier line numbers stay valid.  Returns the number of edits
+    applied; re-linting afterwards reports anything that remains.
+    """
+    rules = {rule.id: rule for rule in all_rules(select)}
+    fixed = 0
+    by_file: dict[str, list[Diagnostic]] = {}
+    for diag in result.diagnostics:
+        if diag.fixable:
+            by_file.setdefault(diag.path, []).append(diag)
+    for path, diags in by_file.items():
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError:
+            continue
+        ctx = LintContext(
+            path=path, source=source, tree=tree, config=config or LintConfig()
+        )
+        edits: list[Edit] = []
+        for diag in diags:
+            rule = rules.get(diag.rule)
+            if rule is None:
+                continue
+            edit = rule.fix(ctx, diag)
+            if edit is not None:
+                edits.append(edit)
+        if not edits:
+            continue
+        lines = source.splitlines(keepends=True)
+        newline = "\n"
+        for edit in sorted(edits, key=lambda e: e.line, reverse=True):
+            index = edit.line - 1
+            if not 0 <= index < len(lines):
+                continue
+            if edit.insert:
+                lines.insert(index, edit.new_text + newline)
+            else:
+                ending = newline if lines[index].endswith(newline) else ""
+                lines[index] = edit.new_text + ending
+            fixed += 1
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("".join(lines))
+    return fixed
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: one ``path:line:col: RULE message`` per
+    finding plus a summary line."""
+    lines = [diag.format() for diag in result.diagnostics]
+    count = len(result.diagnostics)
+    noun = "finding" if count == 1 else "findings"
+    summary = f"{count} {noun} in {len(result.files)} files"
+    if result.suppressed:
+        summary += f" ({len(result.suppressed)} suppressed)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (stable key order, sorted findings)."""
+    payload = {
+        "findings": [diag.as_dict() for diag in result.diagnostics],
+        "suppressed": [diag.as_dict() for diag in result.suppressed],
+        "files_checked": len(result.files),
+        "ok": result.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

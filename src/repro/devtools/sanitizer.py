@@ -1,0 +1,147 @@
+"""Runtime determinism sanitizer: event-stream fingerprints.
+
+Static analysis (simlint) catches the *sources* of nondeterminism it can
+see; this module catches the ones it can't.  An
+:class:`EventStreamHasher` attaches to a
+:class:`~repro.sim.engine.Simulator` via the engine's event hook and
+folds every processed event -- its timestamp, outcome, and type -- into a
+running BLAKE2 digest.  Two runs of the same model with the same seed
+must produce byte-identical digests; :func:`assert_deterministic` builds
+and runs a model repeatedly and raises :class:`DeterminismError` with
+both digests when they diverge.
+
+The hook is opt-in: an unobserved run keeps the engine's inlined hot
+loop and pays nothing (see :meth:`Simulator.set_event_hook`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+
+_PACK = struct.Struct("<dB").pack
+
+
+class DeterminismError(AssertionError):
+    """Two same-seed runs produced different event-stream digests."""
+
+
+class EventStreamHasher:
+    """Folds a simulator's processed-event stream into one digest.
+
+    The fingerprint covers, per event and in processing order: the
+    simulated timestamp, whether the event succeeded, and the event's
+    type name.  That is exactly the engine's observable schedule -- two
+    runs with equal digests processed the same kinds of events at the
+    same times in the same order.  Payload values are deliberately
+    excluded: they may hold unhashable or address-dependent objects, and
+    any payload difference that matters must change downstream event
+    timing anyway.
+    """
+
+    __slots__ = ("_digest", "_count")
+
+    def __init__(self) -> None:
+        self._digest = hashlib.blake2b(digest_size=16)
+        self._count = 0
+
+    def __call__(self, now: float, event: Event) -> None:
+        self._digest.update(_PACK(now, 1 if event._ok else 0))
+        self._digest.update(type(event).__name__.encode("ascii"))
+        self._count += 1
+
+    @property
+    def events_hashed(self) -> int:
+        """Number of events folded into the digest so far."""
+        return self._count
+
+    def hexdigest(self) -> str:
+        """Digest of the stream observed so far (non-destructive)."""
+        return self._digest.hexdigest()
+
+    def attach(self, sim: Simulator) -> "EventStreamHasher":
+        """Install this hasher as *sim*'s event hook (returns self)."""
+        sim.set_event_hook(self)
+        return self
+
+    @staticmethod
+    def detach(sim: Simulator) -> None:
+        """Remove any event hook from *sim*."""
+        sim.set_event_hook(None)
+
+
+def digest_run(
+    build: Callable[[], Simulator],
+    until: Optional[float] = None,
+) -> tuple[str, int]:
+    """Build a simulator, run it observed, and fingerprint the run.
+
+    *build* must construct a fresh simulator with all model processes
+    already started (seeding included).  Returns ``(hexdigest,
+    events_hashed)``.
+    """
+    sim = build()
+    hasher = EventStreamHasher().attach(sim)
+    try:
+        if until is None:
+            sim.run()
+        else:
+            sim.run(until=until)
+    finally:
+        hasher.detach(sim)
+    return hasher.hexdigest(), hasher.events_hashed
+
+
+def assert_deterministic(
+    build: Callable[[], Simulator],
+    runs: int = 2,
+    until: Optional[float] = None,
+    label: str = "model",
+) -> str:
+    """Run *build* ``runs`` times and require identical digests.
+
+    Returns the common digest; raises :class:`DeterminismError` naming
+    the first diverging run otherwise.  Each invocation of *build* must
+    recreate the model from scratch (fresh Simulator, fresh seeded
+    streams) -- shared mutable state between runs defeats the point.
+    """
+    if runs < 2:
+        raise ValueError(f"need at least 2 runs to compare (got {runs})")
+    reference: Optional[tuple[str, int]] = None
+    for index in range(runs):
+        outcome = digest_run(build, until=until)
+        if reference is None:
+            reference = outcome
+        elif outcome != reference:
+            raise DeterminismError(
+                f"{label}: run {index + 1} diverged from run 1: "
+                f"digest {outcome[0]} ({outcome[1]} events) != "
+                f"{reference[0]} ({reference[1]} events)"
+            )
+    assert reference is not None
+    return reference[0]
+
+
+def _self_check() -> None:  # pragma: no cover - manual smoke hook
+    """Tiny built-in smoke test (``python -m repro.devtools.sanitizer``)."""
+
+    def build() -> Simulator:
+        sim = Simulator()
+
+        def worker(sim: Simulator) -> Any:
+            for _ in range(10):
+                yield sim.timeout(1.0)
+
+        sim.process(worker(sim))
+        return sim
+
+    digest = assert_deterministic(build, runs=3)
+    print(f"ok: 3 identical runs, digest {digest}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _self_check()

@@ -13,17 +13,17 @@ of the disk model defined here:
 * :mod:`repro.disk.drive` -- :class:`SimDisk`, the simulated drive process.
 """
 
-from repro.disk.states import DiskState, LEGAL_TRANSITIONS, validate_transition
+from repro.disk.drive import DiskRequest, RequestKind, SimDisk
+from repro.disk.energy import break_even_time, EnergyMeter, standby_power_savings
+from repro.disk.service import ServiceTimeModel
 from repro.disk.specs import (
-    DISK_CATALOG,
-    DiskSpec,
     ATA_80GB_TYPE1,
     ATA_80GB_TYPE2,
+    DISK_CATALOG,
+    DiskSpec,
     SATA_120GB_SERVER,
 )
-from repro.disk.service import ServiceTimeModel
-from repro.disk.energy import EnergyMeter, break_even_time, standby_power_savings
-from repro.disk.drive import DiskRequest, RequestKind, SimDisk
+from repro.disk.states import DiskState, LEGAL_TRANSITIONS, validate_transition
 
 __all__ = [
     "ATA_80GB_TYPE1",

@@ -18,11 +18,11 @@ Power-management entry points used by the EEVFS storage node:
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 import enum
 import itertools
+from typing import Any, Generator, Optional, TYPE_CHECKING
 import warnings
-from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.disk.energy import EnergyMeter
 from repro.disk.service import ServiceTimeModel
@@ -33,6 +33,9 @@ from repro.sim.events import Event
 from repro.sim.monitor import TallyStat
 from repro.sim.process import Interrupt
 from repro.sim.resources import PriorityStore, Store
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
 
 _request_ids = itertools.count()
 
@@ -111,7 +114,7 @@ class SimDisk:
         idle_action: str = "standby",
         second_stage_after: Optional[float] = None,
         spinup_jitter: float = 0.0,
-        rng=None,
+        rng: Optional["np.random.Generator"] = None,
         record_history: bool = False,
     ) -> None:
         if auto_sleep_after is not None and auto_sleep_after < 0:
@@ -245,6 +248,7 @@ class SimDisk:
             return False
         duration = self.spec.spinup_s
         if self.spinup_jitter > 0:
+            assert self._rng is not None  # enforced in __init__
             factor = 1.0 + self._rng.normal(0.0, self.spinup_jitter)
             duration *= min(2.0, max(0.5, factor))
         if self._flaky_spinups > 0:
@@ -255,7 +259,7 @@ class SimDisk:
         self._begin_transition(DiskState.SPIN_UP, DiskState.IDLE, duration)
         return True
 
-    def _failed_spinup(self, duration: float):
+    def _failed_spinup(self, duration: float) -> Generator[Event, Any, None]:
         """An injected spin-up failure: the motor spends the full spin-up
         (time and energy) but falls back to STANDBY, observes the injected
         back-off, then releases waiters so the next attempt retries."""
@@ -346,7 +350,7 @@ class SimDisk:
         if time_s < self.sim.now:
             raise ValueError(f"cannot fail in the past ({time_s!r} < {self.sim.now!r})")
 
-        def killer():
+        def killer() -> Generator[Event, Any, None]:
             yield self.sim.timeout(time_s - self.sim.now)
             self.fail()
 
@@ -433,7 +437,9 @@ class SimDisk:
         self._transition_done = self.sim.event()
         self.sim.process(self._finish_transition(target, duration))
 
-    def _finish_transition(self, target: DiskState, duration: float):
+    def _finish_transition(
+        self, target: DiskState, duration: float
+    ) -> Generator[Event, Any, None]:
         done = self._transition_done
         yield self.sim.timeout(duration)
         if self.state is DiskState.FAILED:
@@ -445,7 +451,7 @@ class SimDisk:
         if target is DiskState.STANDBY and self.inflight > 0:
             self.wake()
 
-    def _server_loop(self):
+    def _server_loop(self) -> Generator[Event, Any, None]:
         sim = self.sim
         while True:
             request: DiskRequest = yield self.queue.get()
@@ -467,6 +473,7 @@ class SimDisk:
             low = self.state.is_low_speed
             self._set_state(DiskState.LOW_ACTIVE if low else DiskState.ACTIVE)
             model = self.service_low if low else self.service
+            assert model is not None  # low implies a multi-speed spec
             duration = self.slowdown * model.service_time(
                 request.size_bytes, sequential=request.sequential
             )
@@ -486,14 +493,16 @@ class SimDisk:
         event, self._idle_started = self._idle_started, self.sim.event()
         event.succeed()
 
-    def _idle_watchdog(self):
+    def _idle_watchdog(self) -> Generator[Event, Any, None]:
         """Built-in idle timer (policy fallback without application hints)."""
         sim = self.sim
+        auto_sleep_after = self.auto_sleep_after
+        assert auto_sleep_after is not None  # watchdog only started when set
         while True:
             if self.state is DiskState.IDLE and self.inflight == 0:
                 self._watchdog_timing = True
                 try:
-                    yield sim.timeout(self.auto_sleep_after)
+                    yield sim.timeout(auto_sleep_after)
                     if self.idle_action == "low_speed":
                         self.shift_down()
                     else:

@@ -60,6 +60,30 @@ def standby_energy_saved(spec: DiskSpec, idle_window_s: float) -> float:
     return idle_cost - sleep_cost
 
 
+def _state_powers(spec: DiskSpec) -> dict[DiskState, float]:
+    """Per-state power draw of *spec*, resolved once.
+
+    LOW_*/SHIFT_* states exist only for multi-speed specs; a
+    single-speed spec's meter simply has no entry for them (and
+    ``validate_transition`` keeps it out of those states anyway).
+    """
+    powers = {
+        DiskState.ACTIVE: spec.power_active_w,
+        DiskState.IDLE: spec.power_idle_w,
+        DiskState.STANDBY: spec.power_standby_w,
+        DiskState.SPIN_UP: spec.spinup_power_w,
+        DiskState.SPIN_DOWN: spec.spindown_power_w,
+        DiskState.FAILED: 0.0,
+    }
+    low = spec.low_speed
+    if low is not None:
+        powers[DiskState.LOW_ACTIVE] = low.power_active_w
+        powers[DiskState.LOW_IDLE] = low.power_idle_w
+        powers[DiskState.SHIFT_UP] = low.shift_power_w
+        powers[DiskState.SHIFT_DOWN] = low.shift_power_w
+    return powers
+
+
 class EnergyMeter:
     """Per-drive energy account driven by state changes.
 
@@ -67,21 +91,6 @@ class EnergyMeter:
     machine, accrues energy for the elapsed interval at the old state's
     power, and counts standby entries/exits (the paper's Fig. 4 metric).
     """
-
-    #: Map of state -> (spec -> watts).  LOW_*/SHIFT_* states require a
-    #: multi-speed spec and fail loudly otherwise.
-    _POWER = {
-        DiskState.ACTIVE: lambda spec: spec.power_active_w,
-        DiskState.IDLE: lambda spec: spec.power_idle_w,
-        DiskState.STANDBY: lambda spec: spec.power_standby_w,
-        DiskState.SPIN_UP: lambda spec: spec.spinup_power_w,
-        DiskState.SPIN_DOWN: lambda spec: spec.spindown_power_w,
-        DiskState.LOW_ACTIVE: lambda spec: spec.low_speed.power_active_w,
-        DiskState.LOW_IDLE: lambda spec: spec.low_speed.power_idle_w,
-        DiskState.SHIFT_UP: lambda spec: spec.low_speed.shift_power_w,
-        DiskState.SHIFT_DOWN: lambda spec: spec.low_speed.shift_power_w,
-        DiskState.FAILED: lambda spec: 0.0,
-    }
 
     def __init__(
         self,
@@ -93,15 +102,8 @@ class EnergyMeter:
         self.spec = spec
         self.state = initial_state
         # The spec never changes, so resolve the per-state power draw once
-        # instead of calling through the _POWER lambda on every transition.
-        # States a spec does not support (no low-speed mode) are skipped;
-        # validate_transition keeps the meter out of them anyway.
-        self._power_w_by_state = {}
-        for s, fn in self._POWER.items():
-            try:
-                self._power_w_by_state[s] = fn(spec)
-            except AttributeError:
-                pass
+        # instead of recomputing it on every transition.
+        self._power_w_by_state = _state_powers(spec)
         self._power = TimeWeightedStat(
             name=f"{spec.name}:power",
             time=start_time,

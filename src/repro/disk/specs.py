@@ -17,7 +17,7 @@ implicitly assumes (sleeping at the threshold is worthwhile).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict
+from typing import Any, Dict
 
 MB = 1024 * 1024
 GB = 1024 * MB
@@ -133,7 +133,7 @@ class DiskSpec:
             raise ValueError(f"negative transfer size: {size_bytes!r}")
         return size_bytes / self.bandwidth_bps
 
-    def with_overrides(self, **kwargs) -> "DiskSpec":
+    def with_overrides(self, **kwargs: Any) -> "DiskSpec":
         """Return a copy with selected fields replaced (for ablations)."""
         return replace(self, **kwargs)
 

@@ -9,20 +9,15 @@
   (idle threshold, hints, disks per node, predictors, replay modes).
 """
 
-from repro.experiments.runner import PairResult, run_pair
-from repro.experiments.sweeps import SweepSet, run_sweep, run_all_sweeps
-from repro.experiments.figures import (
-    figure3,
-    figure4,
-    figure5,
-    figure6,
-)
-from repro.experiments.tables import table1, table2
-from repro.experiments.validation import validate_reproduction
+from repro.experiments.crossover import find_min_effective_k
+from repro.experiments.figures import figure3, figure4, figure5, figure6
 from repro.experiments.paper import generate_report
 from repro.experiments.repetition import repeat_pair
+from repro.experiments.runner import PairResult, run_pair
 from repro.experiments.sensitivity import power_model_sensitivity
-from repro.experiments.crossover import find_min_effective_k
+from repro.experiments.sweeps import run_all_sweeps, run_sweep, SweepSet
+from repro.experiments.tables import table1, table2
+from repro.experiments.validation import validate_reproduction
 
 __all__ = [
     "PairResult",

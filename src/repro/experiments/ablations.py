@@ -19,11 +19,11 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.config import EEVFSConfig, default_cluster
+from repro.core.config import default_cluster, EEVFSConfig
 from repro.core.filesystem import EEVFSCluster
 from repro.metrics.comparison import PairedComparison
 from repro.metrics.report import format_series
-from repro.parallel import JobSpec, TraceSpec, run_jobs
+from repro.parallel import JobSpec, run_jobs, TraceSpec
 from repro.traces.cache import cached_trace
 from repro.traces.model import Trace
 from repro.traces.synthetic import SyntheticWorkload
@@ -377,4 +377,4 @@ def ablate_replay_mode(
         ],
         jobs=jobs,
     )
-    return dict(zip(modes, comparisons))
+    return dict(zip(modes, comparisons, strict=True))

@@ -12,7 +12,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import EEVFSConfig
 from repro.core.filesystem import RunResult
-from repro.parallel import JobSpec, TraceSpec, run_jobs
+from repro.parallel import JobSpec, run_jobs, TraceSpec
 from repro.traces.synthetic import MB, SyntheticWorkload
 
 #: Display name -> (baseline function suffix or None for EEVFS-PF,
@@ -72,4 +72,4 @@ def run_baseline_suite(
     table order."""
     specs = baseline_suite_specs(n_requests=n_requests, seed=seed, config=config)
     results = run_jobs(specs, jobs=jobs)
-    return {spec.label: result for spec, result in zip(specs, results)}
+    return {spec.label: result for spec, result in zip(specs, results, strict=True)}

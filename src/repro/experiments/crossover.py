@@ -17,7 +17,7 @@ import numpy as np
 from repro.core.config import ClusterSpec, EEVFSConfig
 from repro.experiments.runner import run_pair
 from repro.traces.model import Trace
-from repro.traces.synthetic import SyntheticWorkload, generate_synthetic_trace
+from repro.traces.synthetic import generate_synthetic_trace, SyntheticWorkload
 
 
 @dataclass(frozen=True)

@@ -12,7 +12,7 @@ import json
 from pathlib import Path
 from typing import Dict, List, Union
 
-from repro.experiments.figures import FigureResult, Figure6Result
+from repro.experiments.figures import Figure6Result, FigureResult
 
 
 def figure_to_dict(figure: FigureResult) -> Dict[str, object]:

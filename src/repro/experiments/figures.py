@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.core.config import ClusterSpec, EEVFSConfig
 from repro.experiments.runner import run_pair
-from repro.experiments.sweeps import SweepSet, run_all_sweeps
+from repro.experiments.sweeps import run_all_sweeps, SweepSet
 from repro.metrics.comparison import PairedComparison
 from repro.metrics.report import format_series
 from repro.traces.berkeley import BerkeleyWebWorkload, generate_berkeley_like_trace
@@ -75,7 +75,7 @@ def _panels_from(
         columns = {name: [] for name in series_names}
         for point in points:
             values = extract(point.comparison)
-            for name, value in zip(series_names, values):
+            for name, value in zip(series_names, values, strict=True):
                 columns[name].append(value)
         panels[letter] = Panel(
             letter=letter,

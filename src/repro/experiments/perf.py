@@ -21,8 +21,8 @@ from __future__ import annotations
 
 import json
 import os
-import time
 from pathlib import Path
+import time
 from typing import Any, Dict, List, Optional
 
 from repro.core.config import EEVFSConfig

@@ -9,15 +9,15 @@ statistical backing rather than one lucky draw.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+import math
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.config import ClusterSpec, EEVFSConfig
 from repro.metrics.comparison import PairedComparison
-from repro.parallel import JobSpec, TraceSpec, run_jobs
+from repro.parallel import JobSpec, run_jobs, TraceSpec
 from repro.traces.synthetic import SyntheticWorkload
 
 #: Two-sided 95 % t critical values for small sample sizes (df 1..30).

@@ -13,10 +13,10 @@ from typing import Optional
 import numpy as np
 
 from repro.core.config import ClusterSpec, EEVFSConfig
-from repro.core.filesystem import RunResult, run_eevfs
-from repro.metrics.comparison import PairedComparison, compare
+from repro.core.filesystem import run_eevfs, RunResult
+from repro.metrics.comparison import compare, PairedComparison
 from repro.traces.model import Trace
-from repro.traces.synthetic import SyntheticWorkload, generate_synthetic_trace
+from repro.traces.synthetic import generate_synthetic_trace, SyntheticWorkload
 
 
 @dataclass(frozen=True)

@@ -16,12 +16,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.config import ClusterSpec, EEVFSConfig, default_cluster
+from repro.core.config import ClusterSpec, default_cluster, EEVFSConfig
 from repro.disk.specs import DiskSpec
 from repro.experiments.runner import run_pair
 from repro.metrics.report import format_table
 from repro.traces.model import Trace
-from repro.traces.synthetic import SyntheticWorkload, generate_synthetic_trace
+from repro.traces.synthetic import generate_synthetic_trace, SyntheticWorkload
 
 
 def scale_disk_power(spec: DiskSpec, factor: float) -> DiskSpec:

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import ClusterSpec, EEVFSConfig, PARAMETER_GRID
 from repro.experiments.runner import PairResult
-from repro.parallel import JobSpec, TraceSpec, run_jobs
+from repro.parallel import JobSpec, run_jobs, TraceSpec
 from repro.traces.synthetic import MB, SyntheticWorkload
 
 #: Sweep name -> (workload/config field, Table-II values).
@@ -123,7 +123,7 @@ def run_sweep(
     comparisons = run_jobs(specs, jobs=jobs)
     return [
         PairResult(parameter=parameter, value=value, comparison=comparison)
-        for value, comparison in zip(values, comparisons)
+        for value, comparison in zip(values, comparisons, strict=True)
     ]
 
 
@@ -151,7 +151,7 @@ def run_all_sweeps(
     ]
     flat = [spec for _, _, specs in batches for spec in specs]
     comparisons = iter(run_jobs(flat, jobs=jobs))
-    for sweep, (parameter, values, specs) in zip(selected, batches):
+    for sweep, (parameter, values, _specs) in zip(selected, batches, strict=True):
         sweep_set.results[sweep] = [
             PairResult(parameter=parameter, value=value, comparison=next(comparisons))
             for value in values

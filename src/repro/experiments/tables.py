@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.core.config import ClusterSpec, PARAMETER_GRID, default_cluster
+from repro.core.config import ClusterSpec, default_cluster, PARAMETER_GRID
 from repro.disk.specs import MB, SATA_120GB_SERVER
 from repro.metrics.report import format_table
 
@@ -25,7 +25,7 @@ def table1(cluster: ClusterSpec = None) -> str:
 
     headers = ["Parameter", "Storage Server Node"]
     type_specs = []
-    for i, ((disk_name, nic, base), names) in enumerate(sorted(types.items()), 1):
+    for i, (_key, names) in enumerate(sorted(types.items()), 1):
         headers.append(f"Storage Node Type {i} (x{len(names)})")
         node = next(n for n in cluster.storage_nodes if n.name == names[0])
         type_specs.append(node)

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.experiments.figures import figure6
-from repro.experiments.sweeps import SweepSet, run_all_sweeps
+from repro.experiments.sweeps import run_all_sweeps, SweepSet
 from repro.metrics.report import format_table
 
 

@@ -16,7 +16,7 @@ starts the injector only once setup (placement + prefetch) completed, so
 
 from __future__ import annotations
 
-from typing import Dict, Optional, TYPE_CHECKING
+from typing import Any, Dict, Generator, Optional, TYPE_CHECKING
 
 from repro.faults.log import FaultLog
 from repro.faults.schedule import (
@@ -31,10 +31,13 @@ from repro.faults.schedule import (
     SPINUP_FLAKY,
 )
 from repro.sim.engine import Simulator
+from repro.sim.events import Event
 from repro.sim.rng import RandomStreams
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.filesystem import EEVFSCluster
+    from repro.core.node import StorageNode
+    from repro.disk.drive import SimDisk
 
 
 class FaultInjector:
@@ -51,8 +54,10 @@ class FaultInjector:
         self.cluster = cluster
         self.log = FaultLog()
         self.actions = schedule.materialize(streams)
-        self._nodes = {node.spec.name: node for node in cluster.nodes}
-        self._disks: Dict[str, object] = {
+        self._nodes: Dict[str, "StorageNode"] = {
+            node.spec.name: node for node in cluster.nodes
+        }
+        self._disks: Dict[str, "SimDisk"] = {
             disk.name: disk for node in cluster.nodes for disk in node.all_disks
         }
         for action in self.actions:  # fail fast on typos, before the run
@@ -68,19 +73,25 @@ class FaultInjector:
 
     # -- internals ---------------------------------------------------------------
 
-    def _resolve(self, action: FaultAction):
-        """Target object for an action; raises KeyError on unknown names."""
-        if action.kind in (NODE_FAIL, NODE_REPAIR):
-            try:
-                return self._nodes[action.target]
-            except KeyError:
-                raise KeyError(f"unknown storage node: {action.target!r}") from None
+    def _node(self, action: FaultAction) -> "StorageNode":
+        try:
+            return self._nodes[action.target]
+        except KeyError:
+            raise KeyError(f"unknown storage node: {action.target!r}") from None
+
+    def _disk(self, action: FaultAction) -> "SimDisk":
         try:
             return self._disks[action.target]
         except KeyError:
             raise KeyError(f"unknown disk: {action.target!r}") from None
 
-    def _run(self, epoch_s: float):
+    def _resolve(self, action: FaultAction) -> object:
+        """Target object for an action; raises KeyError on unknown names."""
+        if action.kind in (NODE_FAIL, NODE_REPAIR):
+            return self._node(action)
+        return self._disk(action)
+
+    def _run(self, epoch_s: float) -> Generator[Event, Any, None]:
         for action in self.actions:
             at = epoch_s + action.time_s
             if at > self.sim.now:
@@ -88,24 +99,23 @@ class FaultInjector:
             self._apply(action)
 
     def _apply(self, action: FaultAction) -> None:
-        target = self._resolve(action)
         t = self.sim.now
         if action.kind == DISK_FAIL:
-            target.fail()
+            self._disk(action).fail()
             self.log.record(t, DISK_FAIL, action.target)
         elif action.kind == DISK_REPAIR:
-            target.repair()
+            self._disk(action).repair()
             self.log.record(t, DISK_REPAIR, action.target)
         elif action.kind == DISK_SLOW:
-            target.set_slowdown(action.value)
+            self._disk(action).set_slowdown(action.value)
             self.log.record(
                 t, DISK_SLOW, action.target, detail=f"x{action.value:g}"
             )
         elif action.kind == DISK_RESTORE:
-            target.set_slowdown(1.0)
+            self._disk(action).set_slowdown(1.0)
             self.log.record(t, DISK_RESTORE, action.target)
         elif action.kind == SPINUP_FLAKY:
-            target.inject_spinup_failures(
+            self._disk(action).inject_spinup_failures(
                 int(action.value), backoff_s=action.value2
             )
             self.log.record(
@@ -115,16 +125,17 @@ class FaultInjector:
                 detail=f"next {int(action.value)} attempts",
             )
         elif action.kind == NODE_FAIL:
-            target.crash()
+            node = self._node(action)
+            node.crash()
             self.cluster.server.metadata.mark_node_down(action.target)
             self.log.record(
                 t,
                 NODE_FAIL,
                 action.target,
-                detail=f"{len(target.all_disks)} disks down",
+                detail=f"{len(node.all_disks)} disks down",
             )
         elif action.kind == NODE_REPAIR:
-            target.repair_node()
+            self._node(action).repair_node()
             self.cluster.server.metadata.mark_node_up(action.target)
             self.log.record(t, NODE_REPAIR, action.target)
         else:  # pragma: no cover - schedule validates kinds

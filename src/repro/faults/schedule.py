@@ -219,30 +219,31 @@ class FaultSchedule:
         which workload streams were consumed before.
         """
         actions = list(self._actions)
-        if self._stochastic and streams is None:
-            raise ValueError(
-                "schedule contains stochastic fault processes; materialize "
-                "needs a RandomStreams registry"
-            )
-        for spec in self._stochastic:
-            fail_kind = DISK_FAIL if spec.kind == "disk" else NODE_FAIL
-            repair_kind = DISK_REPAIR if spec.kind == "disk" else NODE_REPAIR
-            for target in spec.targets:
-                rng = streams.fault_stream(target)
-                t = float(rng.exponential(spec.mtbf_s))
-                while t < spec.horizon_s:
-                    actions.append(
-                        FaultAction(time_s=t, kind=fail_kind, target=target)
-                    )
-                    if spec.mttr_s is None:
-                        break  # no repair: the target stays down
-                    t += float(rng.exponential(spec.mttr_s))
-                    if t >= spec.horizon_s:
-                        break
-                    actions.append(
-                        FaultAction(time_s=t, kind=repair_kind, target=target)
-                    )
-                    t += float(rng.exponential(spec.mtbf_s))
+        if self._stochastic:
+            if streams is None:
+                raise ValueError(
+                    "schedule contains stochastic fault processes; materialize "
+                    "needs a RandomStreams registry"
+                )
+            for spec in self._stochastic:
+                fail_kind = DISK_FAIL if spec.kind == "disk" else NODE_FAIL
+                repair_kind = DISK_REPAIR if spec.kind == "disk" else NODE_REPAIR
+                for target in spec.targets:
+                    rng = streams.fault_stream(target)
+                    t = float(rng.exponential(spec.mtbf_s))
+                    while t < spec.horizon_s:
+                        actions.append(
+                            FaultAction(time_s=t, kind=fail_kind, target=target)
+                        )
+                        if spec.mttr_s is None:
+                            break  # no repair: the target stays down
+                        t += float(rng.exponential(spec.mttr_s))
+                        if t >= spec.horizon_s:
+                            break
+                        actions.append(
+                            FaultAction(time_s=t, kind=repair_kind, target=target)
+                        )
+                        t += float(rng.exponential(spec.mtbf_s))
         return tuple(sorted(actions))
 
     def __len__(self) -> int:

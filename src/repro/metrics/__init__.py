@@ -7,17 +7,17 @@ quantities the figures report (savings %, penalty %) and renders
 plain-text tables/series.
 """
 
-from repro.metrics.comparison import PairedComparison, compare
-from repro.metrics.report import format_series, format_table, summary_table
-from repro.metrics.wear import WearReport, wear_report
 from repro.metrics.breakdown import (
-    EnergyBreakdown,
     breakdown_table,
     compare_breakdowns,
     energy_breakdown,
+    EnergyBreakdown,
     state_time_breakdown,
 )
 from repro.metrics.chart import bar_chart, grouped_bar_chart
+from repro.metrics.comparison import compare, PairedComparison
+from repro.metrics.report import format_series, format_table, summary_table
+from repro.metrics.wear import wear_report, WearReport
 
 __all__ = [
     "EnergyBreakdown",

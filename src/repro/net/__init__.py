@@ -10,9 +10,9 @@ nodes, 100 Mb/s for type-2 nodes.  This package models that fabric:
   switch; a transfer is limited by the slower of the two endpoint NICs.
 """
 
-from repro.net.message import Message
-from repro.net.link import Link, FAST_ETHERNET_BPS, GIGABIT_ETHERNET_BPS
 from repro.net.fabric import Endpoint, Fabric
+from repro.net.link import FAST_ETHERNET_BPS, GIGABIT_ETHERNET_BPS, Link
+from repro.net.message import Message
 
 __all__ = [
     "Endpoint",

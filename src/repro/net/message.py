@@ -8,8 +8,8 @@ the network layer only cares about size and addressing.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
+import itertools
 from typing import Any
 
 #: Wire size charged for small control messages (request forwarding,

@@ -7,7 +7,7 @@ runs; this package fans them out over worker processes.  See
 ordering, serial fallback, attributable failures).
 """
 
-from repro.parallel.jobs import JobFailed, JobSpec, TraceSpec, execute_job
+from repro.parallel.jobs import execute_job, JobFailed, JobSpec, TraceSpec
 from repro.parallel.pool import default_jobs, resolve_jobs, run_jobs
 
 __all__ = [

@@ -30,7 +30,7 @@ class TraceSpec:
     workload: Any = None
     seed: int = 1
 
-    def generate(self):
+    def generate(self) -> Any:
         """Materialise the trace (memoised per process)."""
         workload = self.workload
         if workload is None:
@@ -87,7 +87,7 @@ class JobFailed(RuntimeError):
         self.cause = cause
 
 
-def execute_job(spec: JobSpec):
+def execute_job(spec: JobSpec) -> Any:
     """Run one :class:`JobSpec` and return its result.
 
     This is the single execution path for *both* serial and parallel

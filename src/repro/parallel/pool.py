@@ -19,7 +19,7 @@ from __future__ import annotations
 import os
 from typing import Callable, List, Optional, Sequence
 
-from repro.parallel.jobs import JobFailed, JobSpec, execute_job
+from repro.parallel.jobs import execute_job, JobFailed, JobSpec
 
 #: Signature of the optional progress hook: (done, total, spec).
 ProgressFn = Callable[[int, int, JobSpec], None]

@@ -11,11 +11,7 @@ state:
   server-side repair loop.
 """
 
-from repro.replication.policy import (
-    REPLICATION_POLICIES,
-    holder_counts,
-    plan_replicas,
-)
+from repro.replication.policy import holder_counts, plan_replicas, REPLICATION_POLICIES
 from repro.replication.repair import ReplicationManager
 
 __all__ = [

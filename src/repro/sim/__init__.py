@@ -18,9 +18,9 @@ time is in **seconds** (float).
 
 from repro.sim.engine import Simulator, StopSimulation
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.monitor import Recorder, TallyStat, TimeWeightedStat
 from repro.sim.process import Interrupt, Process
 from repro.sim.resources import Container, PriorityResource, Resource, Store
-from repro.sim.monitor import Recorder, TallyStat, TimeWeightedStat
 from repro.sim.rng import RandomStreams
 
 __all__ = [

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import heapq
-from typing import Any, Generator, Iterable, Optional
+from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.sim.events import AllOf, AnyOf, Event, NORMAL, PENDING, Timeout, URGENT
 from repro.sim.process import Process
@@ -49,6 +49,9 @@ class Simulator:
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._events_processed = 0
+        #: Optional observer called as ``hook(now, event)`` for every
+        #: processed event (see :meth:`set_event_hook`).
+        self._event_hook: Optional[Callable[[float, Event], None]] = None
         #: The process currently being resumed (used by Interrupt plumbing).
         self.active_process: Optional[Process] = None
 
@@ -111,7 +114,7 @@ class Simulator:
         self._seq += 1
         return event
 
-    def process(self, generator: Generator) -> Process:
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
         """Start *generator* as a process; returns its completion event."""
         return Process(self, generator)
 
@@ -124,6 +127,21 @@ class Simulator:
         return AllOf(self, events)
 
     # -- run loop ------------------------------------------------------------
+
+    def set_event_hook(
+        self, hook: Optional[Callable[[float, Event], None]]
+    ) -> None:
+        """Install (or with ``None``, remove) an observer called as
+        ``hook(now, event)`` for every event the engine processes.
+
+        The hook fires *before* the event's callbacks run, in processing
+        order, so two same-seed runs observe identical sequences -- which
+        is exactly what :mod:`repro.devtools.sanitizer` fingerprints.
+        When no hook is installed, :meth:`run` keeps its inlined hot loop
+        and pays nothing; with a hook the loop dispatches through
+        :meth:`step` instead.  Hooks must not mutate simulation state.
+        """
+        self._event_hook = hook
 
     def step(self) -> None:
         """Process exactly one event.
@@ -138,6 +156,8 @@ class Simulator:
             raise EmptySchedule() from None
 
         self._events_processed += 1
+        if self._event_hook is not None:
+            self._event_hook(self._now, event)
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:  # pragma: no cover - defensive; never rescheduled
             return
@@ -182,6 +202,11 @@ class Simulator:
         heappop = heapq.heappop
         heap = self._heap
         try:
+            if self._event_hook is not None:
+                # Observed run: dispatch through step() so the hook sees
+                # every event.  Only pays when a hook is installed.
+                while True:
+                    self.step()
             # The step() body is inlined here: one Python-level call per
             # event is the single largest fixed cost of the run loop.
             while True:

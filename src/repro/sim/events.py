@@ -10,7 +10,7 @@ number, which makes the whole engine deterministic.
 from __future__ import annotations
 
 from heapq import heappush
-from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+from typing import Any, Callable, Iterable, Iterator, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulator
@@ -178,7 +178,7 @@ class ConditionValue:
     def __len__(self) -> int:
         return len(self.events)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Event]:
         return iter(self.events)
 
     def __eq__(self, other: object) -> bool:

@@ -12,9 +12,9 @@ Three collectors cover everything the reproduction measures:
 
 from __future__ import annotations
 
-import math
 from array import array
-from typing import Any, Iterable, Optional
+import math
+from typing import Any, Iterable, Iterator, Optional
 
 
 class TallyStat:
@@ -31,7 +31,7 @@ class TallyStat:
     def __init__(self, name: str = "", keep_samples: bool = False) -> None:
         self.name = name
         self.keep_samples = keep_samples
-        self.samples: array = array("d")
+        self.samples: array[float] = array("d")
         self._n = 0
         self._mean = 0.0
         self._m2 = 0.0
@@ -208,7 +208,7 @@ class Recorder:
 
     def __init__(self, name: str = "") -> None:
         self.name = name
-        self.times: array = array("d")
+        self.times: array[float] = array("d")
         self.values: list[Any] = []
 
     def record(self, time: float, value: Any) -> None:
@@ -225,8 +225,8 @@ class Recorder:
     def __len__(self) -> int:
         return len(self.times)
 
-    def __iter__(self):
-        return iter(zip(self.times, self.values))
+    def __iter__(self) -> Iterator[tuple[float, Any]]:
+        return iter(zip(self.times, self.values, strict=True))
 
     def last(self) -> tuple[float, Any]:
         """Most recent (time, value) pair."""

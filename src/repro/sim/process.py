@@ -10,7 +10,7 @@ raises, so processes can wait on each other directly.
 from __future__ import annotations
 
 from heapq import heappush
-from typing import TYPE_CHECKING, Any, Generator, Optional
+from typing import Any, Generator, Optional, TYPE_CHECKING
 
 from repro.sim.events import Event, PENDING, URGENT
 
@@ -39,7 +39,12 @@ class Process(Event):
 
     __slots__ = ("_generator", "_target", "name")
 
-    def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Event, Any, Any],
+        name: str = "",
+    ) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"process requires a generator, got {generator!r}")
         # Inline Event.__init__ -- one process is created per network
@@ -62,6 +67,7 @@ class Process(Event):
         start = Event(sim)
         start._ok = True
         start._value = None
+        assert start.callbacks is not None
         start.callbacks.append(self._resume)
         heappush(sim._heap, (sim._now, URGENT, sim._seq, start))
         sim._seq += 1

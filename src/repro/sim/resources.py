@@ -9,7 +9,7 @@ order deterministic and auditable.
 from __future__ import annotations
 
 from bisect import insort_right
-from typing import TYPE_CHECKING, Any, Callable, Optional
+from typing import Any, Callable, Optional, TYPE_CHECKING
 
 from repro.sim.events import Event, PENDING
 
@@ -68,6 +68,8 @@ class Request(Event):
 class Resource:
     """A server with ``capacity`` identical slots and a FIFO wait queue."""
 
+    __slots__ = ("sim", "capacity", "_users", "_queue", "_tickets")
+
     def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity!r}")
@@ -120,6 +122,8 @@ class PriorityResource(Resource):
     Ties break FIFO via the ticket number, so behaviour stays deterministic.
     """
 
+    __slots__ = ()
+
     def request(self, priority: int = 0) -> Request:
         return Request(self, priority)
 
@@ -151,6 +155,8 @@ class Store:
     is empty.  ``get(filter=...)`` retrieves the first item matching the
     predicate (a filter-store in classic terminology).
     """
+
+    __slots__ = ("sim", "capacity", "items", "_putters", "_getters")
 
     def __init__(self, sim: "Simulator", capacity: float = float("inf")) -> None:
         if capacity <= 0:
@@ -200,7 +206,7 @@ class Store:
                 return i
         return None
 
-    def drain(self) -> list:
+    def drain(self) -> list[Any]:
         """Remove and return every buffered item (pending puts unaffected)."""
         items, self.items = self.items, []
         return items
@@ -215,6 +221,8 @@ class PriorityStore(Store):
     priority order.
     """
 
+    __slots__ = ("_priority_key", "_insertions", "_keys")
+
     def __init__(
         self,
         sim: "Simulator",
@@ -222,10 +230,12 @@ class PriorityStore(Store):
         priority_key: Optional[Callable[[Any], float]] = None,
     ) -> None:
         super().__init__(sim, capacity=capacity)
-        self._priority_key = priority_key if priority_key is not None else (lambda x: x)
+        self._priority_key: Callable[[Any], float] = (
+            priority_key if priority_key is not None else (lambda x: x)
+        )
         self._insertions = 0
         #: Parallel list of (priority, insertion#) sort keys for `items`.
-        self._keys: list[tuple] = []
+        self._keys: list[tuple[float, int]] = []
 
     def _trigger(self) -> None:
         progress = True
@@ -252,7 +262,7 @@ class PriorityStore(Store):
                 get.succeed(self.items.pop(index))
                 progress = True
 
-    def drain(self) -> list:
+    def drain(self) -> list[Any]:
         self._keys.clear()
         return super().drain()
 
@@ -283,6 +293,8 @@ class ContainerGet(Event):
 
 class Container:
     """A continuous-level reservoir (bytes, joules, ...) with bounds."""
+
+    __slots__ = ("sim", "capacity", "_level", "_putters", "_getters")
 
     def __init__(
         self,

@@ -17,20 +17,20 @@ provides:
 * :mod:`repro.traces.stats`     -- popularity and skew statistics.
 """
 
-from repro.traces.model import FileSpec, RequestOp, Trace, TraceRequest
-from repro.traces.synthetic import SyntheticWorkload, generate_synthetic_trace
 from repro.traces.berkeley import BerkeleyWebWorkload, generate_berkeley_like_trace
-from repro.traces.nonstationary import DriftingWorkload, generate_drifting_trace
+from repro.traces.cache import cached_trace, TraceCache
 from repro.traces.diurnal import DiurnalWorkload, generate_diurnal_trace
-from repro.traces.cache import TraceCache, cached_trace
 from repro.traces.importers import read_msr_trace, read_spc_trace
 from repro.traces.logio import AccessLog, read_trace, write_trace
+from repro.traces.model import FileSpec, RequestOp, Trace, TraceRequest
+from repro.traces.nonstationary import DriftingWorkload, generate_drifting_trace
 from repro.traces.stats import (
     access_counts,
     coverage_of_top_k,
     popularity_ranking,
     working_set_size,
 )
+from repro.traces.synthetic import generate_synthetic_trace, SyntheticWorkload
 
 __all__ = [
     "AccessLog",

@@ -65,10 +65,11 @@ class BerkeleyWebWorkload:
 
 
 def generate_berkeley_like_trace(
-    workload: BerkeleyWebWorkload = BerkeleyWebWorkload(),
+    workload: Optional[BerkeleyWebWorkload] = None,
     rng: Optional[np.random.Generator] = None,
 ) -> Trace:
     """Generate the web-trace stand-in used for the Fig. 6 reproduction."""
+    workload = workload if workload is not None else BerkeleyWebWorkload()
     rng = rng if rng is not None else np.random.default_rng(0)
 
     files = [

@@ -61,10 +61,11 @@ class DiurnalWorkload:
 
 
 def generate_diurnal_trace(
-    workload: DiurnalWorkload = DiurnalWorkload(),
+    workload: Optional[DiurnalWorkload] = None,
     rng: Optional[np.random.Generator] = None,
 ) -> Trace:
     """Generate arrivals by thinning a homogeneous Poisson process."""
+    workload = workload if workload is not None else DiurnalWorkload()
     rng = rng if rng is not None else np.random.default_rng(0)
     files = [
         FileSpec(file_id=i, size_bytes=workload.data_size_bytes)

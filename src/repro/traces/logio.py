@@ -14,9 +14,9 @@ Two concerns live here:
 
 from __future__ import annotations
 
-import io
 from bisect import bisect_left, bisect_right
 from collections import Counter
+import io
 from pathlib import Path
 from typing import Dict, List, Optional, TextIO, Union
 
@@ -184,4 +184,4 @@ class AccessLog:
 
     def accesses_for(self, file_id: int) -> List[float]:
         """All access timestamps of one file (used by idle-window hints)."""
-        return [t for t, f in zip(self._times, self._file_ids) if f == file_id]
+        return [t for t, f in zip(self._times, self._file_ids, strict=True) if f == file_id]

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass, field
+import enum
 from typing import Dict, Iterator, List, Sequence
 
 

@@ -54,10 +54,11 @@ class DriftingWorkload:
 
 
 def generate_drifting_trace(
-    workload: DriftingWorkload = DriftingWorkload(),
+    workload: Optional[DriftingWorkload] = None,
     rng: Optional[np.random.Generator] = None,
 ) -> Trace:
     """Generate a trace whose hot set moves through the catalog."""
+    workload = workload if workload is not None else DriftingWorkload()
     rng = rng if rng is not None else np.random.default_rng(0)
     files = [
         FileSpec(file_id=i, size_bytes=workload.data_size_bytes)

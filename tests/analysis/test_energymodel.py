@@ -9,7 +9,7 @@ from repro.analysis.energymodel import (
     predicted_pf_energy_j,
     predicted_savings_fraction,
 )
-from repro.core import EEVFSConfig, default_cluster, run_eevfs
+from repro.core import default_cluster, EEVFSConfig, run_eevfs
 from repro.traces import generate_synthetic_trace
 from repro.traces.synthetic import SyntheticWorkload
 

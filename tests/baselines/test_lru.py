@@ -1,8 +1,8 @@
 """Unit and property tests for the MAID LRU file cache."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import pytest
 
 from repro.baselines import LRUFileCache
 

@@ -4,10 +4,10 @@ import pytest
 
 from repro.core.config import (
     ClusterSpec,
+    default_cluster,
     EEVFSConfig,
     NodeSpec,
     PARAMETER_GRID,
-    default_cluster,
 )
 from repro.disk.specs import ATA_80GB_TYPE1, ATA_80GB_TYPE2
 from repro.net.link import FAST_ETHERNET_BPS, GIGABIT_ETHERNET_BPS

@@ -5,7 +5,7 @@ import json
 
 import pytest
 
-from repro.core import ClusterSpec, EEVFSConfig, default_cluster
+from repro.core import ClusterSpec, default_cluster, EEVFSConfig
 from repro.core.configio import (
     cluster_from_dict,
     cluster_to_dict,

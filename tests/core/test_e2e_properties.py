@@ -9,14 +9,13 @@ for every draw:
 * identical inputs give identical outputs.
 """
 
-import numpy as np
-import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, HealthCheck, settings
 from hypothesis import strategies as st
+import numpy as np
 
-from repro.core import EEVFSConfig, default_cluster
+from repro.core import default_cluster, EEVFSConfig
 from repro.core.filesystem import EEVFSCluster
-from repro.traces.synthetic import MB, SyntheticWorkload, generate_synthetic_trace
+from repro.traces.synthetic import generate_synthetic_trace, MB, SyntheticWorkload
 
 SLOW = settings(
     max_examples=12,

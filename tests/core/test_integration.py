@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import EEVFSConfig, default_cluster, run_eevfs
+from repro.core import EEVFSConfig, run_eevfs
 from repro.core.filesystem import EEVFSCluster
 from repro.disk.states import DiskState
 from repro.traces import generate_berkeley_like_trace, generate_synthetic_trace

@@ -1,8 +1,8 @@
 """Unit and property tests for popularity round-robin placement (§III-B)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import pytest
 
 from repro.core.placement import (
     creation_order,

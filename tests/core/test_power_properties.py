@@ -1,7 +1,6 @@
 """Property-based tests for the power manager's safety invariants."""
 
-import numpy as np
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, HealthCheck, settings
 from hypothesis import strategies as st
 
 from repro.core.power import PowerManager

@@ -2,14 +2,14 @@
 
 import math
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import pytest
 
 from repro.core.prediction import (
-    IdleWindow,
     effective_threshold,
     idle_windows,
+    IdleWindow,
     plan_sleep_windows,
     predicted_savings_j,
     prefetch_benefit_j,
@@ -110,7 +110,7 @@ def test_windows_partition_the_horizon(times, threshold):
     total = sum(w.duration_s for w in windows)
     assert math.isclose(total, 1000.0, rel_tol=1e-9)
     # Windows are disjoint and ordered.
-    for a, b in zip(windows, windows[1:]):
+    for a, b in zip(windows, windows[1:], strict=False):
         assert a.end_s <= b.start_s + 1e-12
 
 
@@ -133,6 +133,6 @@ def test_prefetch_benefit_never_negative_for_subset_patterns(times, data):
     """Serving a subset of accesses from the buffer can only help."""
     times = sorted(times)
     keep = data.draw(st.lists(st.booleans(), min_size=len(times), max_size=len(times)))
-    with_pf = [t for t, k in zip(times, keep) if k]
+    with_pf = [t for t, k in zip(times, keep, strict=True) if k]
     benefit = prefetch_benefit_j(times, with_pf, SPEC, 5.0, horizon_s=1000.0)
     assert benefit >= -1e-9

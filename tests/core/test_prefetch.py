@@ -3,11 +3,7 @@
 import pytest
 
 from repro.core.metadata import NodeMetadata
-from repro.core.prefetch import (
-    PrefetchStats,
-    admit_prefetch_files,
-    plan_prefetch,
-)
+from repro.core.prefetch import admit_prefetch_files, plan_prefetch, PrefetchStats
 
 
 def placement_for(ranking, nodes):

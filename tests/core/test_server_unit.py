@@ -1,7 +1,6 @@
 """Direct unit tests of StorageServer behaviour through a live cluster."""
 
 import numpy as np
-import pytest
 
 from repro.core import EEVFSConfig
 from repro.core.filesystem import EEVFSCluster

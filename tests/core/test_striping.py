@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import EEVFSConfig, default_cluster, run_eevfs
+from repro.core import default_cluster, EEVFSConfig, run_eevfs
 from repro.core.metadata import NodeMetadata
 from repro.traces import generate_synthetic_trace
 from repro.traces.synthetic import MB, SyntheticWorkload

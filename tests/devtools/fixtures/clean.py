@@ -1,0 +1,5 @@
+"""Known-clean fixture: nothing here should trip any simlint rule."""
+
+
+def double(values):
+    return [v * 2 for v in sorted(values)]

@@ -1,0 +1,14 @@
+"""Known-bad fixture: every DET001 pattern in one file."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def roll():
+    a = random.random()
+    b = np.random.rand(3)
+    rng = np.random.default_rng()
+    c = default_rng()
+    return a, b, rng, c

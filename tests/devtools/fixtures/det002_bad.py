@@ -1,0 +1,12 @@
+"""Known-bad fixture: wall-clock reads outside the allow-list."""
+
+import datetime
+import time
+from time import perf_counter
+
+
+def stamp():
+    a = time.time()
+    b = perf_counter()
+    c = datetime.datetime.now()
+    return a, b, c

@@ -1,0 +1,12 @@
+"""Known-bad fixture: order-sensitive package iterating over unordered views."""
+
+
+def tally(counts):
+    total = 0
+    for name in counts.keys():
+        total += len(name)
+    for value in counts.values():
+        total += value
+    for item in {3, 1, 2}:
+        total += item
+    return total

@@ -1,0 +1,12 @@
+"""Known-bad fixture: swallowed exceptions inside the event-loop packages."""
+
+
+def risky(op):
+    try:
+        op()
+    except:
+        pass
+    try:
+        op()
+    except Exception:
+        pass

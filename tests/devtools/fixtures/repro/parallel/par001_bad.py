@@ -1,0 +1,10 @@
+"""Known-bad fixture: unpicklable callables in a spec module."""
+
+KEY = lambda pair: pair[0]  # noqa: E731
+
+
+def make_spec():
+    def helper(x):
+        return x + 1
+
+    return helper

@@ -1,0 +1,13 @@
+"""Known-bad fixture: a monitor class without ``__slots__``."""
+
+
+class Tally:
+    """Accumulates samples (missing its ``__slots__`` declaration)."""
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+
+    def add(self, value):
+        self.count += 1
+        self.total += value

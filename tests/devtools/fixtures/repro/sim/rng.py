@@ -1,0 +1,10 @@
+"""Known-clean fixture: the RNG module itself is exempt from DET001."""
+
+import random
+
+import numpy as np
+
+
+def make_stream(seed):
+    random.seed(seed)
+    return np.random.default_rng(seed)

@@ -1,0 +1,10 @@
+"""Fixture exercising ``# simlint: ignore[...]`` pragmas."""
+
+import random  # simlint: ignore[DET001]
+import time
+
+
+def sample():
+    value = random.random()  # simlint: ignore[DET001] -- demo only
+    stamp = time.time()  # simlint: ignore[*]
+    return value, stamp

@@ -1,0 +1,176 @@
+"""simlint behaviour against the known-bad / known-clean fixture tree.
+
+Each fixture under ``fixtures/`` exercises one rule; paths mimic the
+package layout (``fixtures/repro/sim/...``) because rule scoping is
+suffix-based.  Assertions pin exact rule IDs and line numbers so a rule
+regression (missed pattern or spurious hit) fails loudly.
+"""
+
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.devtools import all_rules
+from repro.devtools.runner import (
+    apply_fixes,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+)
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def fixture(*parts):
+    return os.path.join(FIXTURES, *parts)
+
+
+def findings_for(path, select=None):
+    result = lint_paths([path], select=select)
+    return [(d.rule, d.line) for d in result.diagnostics]
+
+
+class TestRuleFindings:
+    def test_det001_flags_every_random_source(self):
+        assert findings_for(fixture("det001_bad.py")) == [
+            ("DET001", 3),  # import random
+            ("DET001", 11),  # np.random.rand
+            ("DET001", 12),  # unseeded np.random.default_rng()
+            ("DET001", 13),  # unseeded bare default_rng()
+        ]
+
+    def test_det001_exempts_the_rng_module(self):
+        assert findings_for(fixture("repro", "sim", "rng.py")) == []
+
+    def test_det002_flags_wall_clock_reads(self):
+        assert findings_for(fixture("det002_bad.py")) == [
+            ("DET002", 5),  # from time import perf_counter
+            ("DET002", 9),  # time.time()
+            ("DET002", 11),  # datetime.datetime.now()
+        ]
+
+    def test_det002_exempts_the_perf_harness(self):
+        assert findings_for(fixture("repro", "experiments", "perf.py")) == []
+
+    def test_det003_flags_unordered_iteration(self):
+        assert findings_for(fixture("repro", "core", "det003_bad.py")) == [
+            ("DET003", 6),  # .keys()
+            ("DET003", 8),  # .values()
+            ("DET003", 10),  # set literal
+        ]
+
+    def test_det003_only_fires_in_ordered_packages(self):
+        source = "def f(d):\n    for v in d.values():\n        print(v)\n"
+        active, _ = lint_source("scratch/elsewhere.py", source)
+        assert [d.rule for d in active] == []
+
+    def test_par001_flags_lambdas_and_closures(self):
+        assert findings_for(fixture("repro", "parallel", "par001_bad.py")) == [
+            ("PAR001", 3),  # module-level lambda
+            ("PAR001", 7),  # nested def
+        ]
+
+    def test_sim001_flags_swallowed_exceptions(self):
+        assert findings_for(fixture("repro", "disk", "sim001_bad.py")) == [
+            ("SIM001", 7),  # bare except
+            ("SIM001", 11),  # except Exception: pass
+        ]
+
+    def test_sim002_flags_missing_slots(self):
+        assert findings_for(fixture("repro", "sim", "monitor.py")) == [
+            ("SIM002", 4),
+        ]
+
+    def test_clean_file_has_no_findings(self):
+        assert findings_for(fixture("clean.py")) == []
+
+
+class TestSuppression:
+    def test_pragmas_silence_findings_but_stay_visible(self):
+        result = lint_paths([fixture("suppressed.py")])
+        assert result.diagnostics == []
+        assert result.ok
+        assert [(d.rule, d.line) for d in result.suppressed] == [
+            ("DET001", 3),  # simlint: ignore[DET001]
+            ("DET002", 9),  # simlint: ignore[*]
+        ]
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        source = "import random  # simlint: ignore[DET002]\n"
+        active, suppressed = lint_source("scratch/mod.py", source)
+        assert [d.rule for d in active] == ["DET001"]
+        assert suppressed == []
+
+
+class TestRunner:
+    def test_select_restricts_rules(self):
+        result = lint_paths([FIXTURES], select=["SIM002"])
+        assert {d.rule for d in result.diagnostics} == {"SIM002"}
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(ValueError):
+            all_rules(["NOPE99"])
+
+    def test_syntax_error_reports_e999(self):
+        active, _ = lint_source("scratch/broken.py", "def f(:\n")
+        assert [d.rule for d in active] == ["E999"]
+
+    def test_walk_is_sorted_and_skips_caches(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("x = 1\n")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "c.py").write_text("x = 1\n")
+        names = [os.path.basename(p) for p in iter_python_files([str(tmp_path)])]
+        assert names == ["a.py", "b.py"]
+
+    def test_render_json_shape(self):
+        result = lint_paths([fixture("det001_bad.py")])
+        payload = json.loads(render_json(result))
+        assert payload["ok"] is False
+        assert payload["files_checked"] == 1
+        first = payload["findings"][0]
+        assert first["rule"] == "DET001"
+        assert first["line"] == 3
+        assert first["path"].endswith("det001_bad.py")
+
+    def test_render_text_summary_line(self):
+        result = lint_paths([fixture("clean.py")])
+        assert render_text(result).splitlines()[-1] == "0 findings in 1 files"
+
+
+class TestFixers:
+    def _copy_fixture(self, tmp_path, *parts):
+        dest = tmp_path.joinpath(*parts)
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copy(fixture(*parts), dest)
+        return str(dest)
+
+    def test_det003_fixer_wraps_in_sorted(self, tmp_path):
+        path = self._copy_fixture(tmp_path, "repro", "core", "det003_bad.py")
+        result = lint_paths([path])
+        assert apply_fixes(result) == 3
+        fixed = open(path).read()
+        assert "for name in sorted(counts.keys()):" in fixed
+        assert "for value in sorted(counts.values()):" in fixed
+        assert "for item in sorted({3, 1, 2}):" in fixed
+        assert lint_paths([path]).ok
+
+    def test_sim002_fixer_inserts_slots(self, tmp_path):
+        path = self._copy_fixture(tmp_path, "repro", "sim", "monitor.py")
+        result = lint_paths([path])
+        assert apply_fixes(result) == 1
+        fixed = open(path).read()
+        assert '__slots__ = ("count", "total")' in fixed
+        assert lint_paths([path]).ok
+
+
+class TestRepositoryIsClean:
+    def test_src_tree_passes_simlint(self):
+        root = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        result = lint_paths([root])
+        assert result.ok, render_text(result)

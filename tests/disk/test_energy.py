@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.disk import ATA_80GB_TYPE1, ATA_80GB_TYPE2, EnergyMeter, break_even_time
+from repro.disk import ATA_80GB_TYPE1, ATA_80GB_TYPE2, break_even_time, EnergyMeter
 from repro.disk.energy import standby_energy_saved, standby_power_savings
 from repro.disk.states import DiskState, IllegalTransition
 

@@ -1,13 +1,8 @@
 """Tests for disk request priorities (demand > prefetch > background)."""
 
-import pytest
 
 from repro.disk import ATA_80GB_TYPE1, SimDisk
-from repro.disk.drive import (
-    PRIORITY_BACKGROUND,
-    PRIORITY_DEMAND,
-    PRIORITY_PREFETCH,
-)
+from repro.disk.drive import PRIORITY_BACKGROUND, PRIORITY_DEMAND, PRIORITY_PREFETCH
 from repro.sim import Simulator
 
 MB = 1024 * 1024

@@ -5,7 +5,7 @@ import math
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.disk import ATA_80GB_TYPE1, SimDisk, break_even_time
+from repro.disk import ATA_80GB_TYPE1, break_even_time, SimDisk
 from repro.disk.energy import EnergyMeter, standby_energy_saved
 from repro.disk.specs import DiskSpec, MB
 from repro.disk.states import DiskState
@@ -66,7 +66,7 @@ def test_meter_energy_equals_sum_of_state_integrals(durations):
     meter = EnergyMeter(spec)
     t = 0.0
     state = DiskState.IDLE
-    for i, dt in enumerate(durations):
+    for dt in durations:
         t += dt
         # Alternate IDLE <-> ACTIVE (always legal both ways).
         state = DiskState.ACTIVE if state is DiskState.IDLE else DiskState.IDLE

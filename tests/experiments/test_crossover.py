@@ -7,7 +7,7 @@ from repro.experiments.crossover import (
     find_min_effective_k,
     find_savings_floor_inter_arrival,
 )
-from repro.traces.synthetic import SyntheticWorkload, generate_synthetic_trace
+from repro.traces.synthetic import generate_synthetic_trace, SyntheticWorkload
 
 
 @pytest.fixture(scope="module")

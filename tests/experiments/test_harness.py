@@ -6,7 +6,7 @@ so the full suite stays fast; the benchmarks run the paper-scale version.
 
 import pytest
 
-from repro.core.config import PARAMETER_GRID, EEVFSConfig
+from repro.core.config import PARAMETER_GRID
 from repro.experiments import (
     figure3,
     figure4,
@@ -81,7 +81,9 @@ class TestFigure3:
         fig = figure3(sweeps)
         for letter in ("b", "d"):
             panel = fig.panel(letter)
-            for pf, npf in zip(panel.series["PF_energy_J"], panel.series["NPF_energy_J"]):
+            for pf, npf in zip(
+                panel.series["PF_energy_J"], panel.series["NPF_energy_J"], strict=True
+            ):
                 assert pf < npf
 
     def test_savings_grow_with_prefetch_count(self, sweeps):
@@ -130,7 +132,9 @@ class TestFigure5:
 
     def test_pf_response_at_least_npf(self, sweeps):
         panel = figure5(sweeps).panel("d")
-        for pf, npf in zip(panel.series["PF_response_s"], panel.series["NPF_response_s"]):
+        for pf, npf in zip(
+            panel.series["PF_response_s"], panel.series["NPF_response_s"], strict=True
+        ):
             assert pf >= npf * 0.99
 
 

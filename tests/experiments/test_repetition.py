@@ -4,11 +4,7 @@ import math
 
 import pytest
 
-from repro.experiments.repetition import (
-    RepeatedMetric,
-    repeat_pair,
-    t_critical_95,
-)
+from repro.experiments.repetition import repeat_pair, RepeatedMetric, t_critical_95
 from repro.traces.synthetic import SyntheticWorkload
 
 

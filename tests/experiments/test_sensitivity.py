@@ -39,7 +39,7 @@ class TestPerturbedCluster:
         from repro.core import default_cluster
 
         original = default_cluster()
-        for node, base in zip(cluster.storage_nodes, original.storage_nodes):
+        for node, base in zip(cluster.storage_nodes, original.storage_nodes, strict=True):
             assert node.base_power_w == pytest.approx(2 * base.base_power_w)
 
     def test_validation(self):

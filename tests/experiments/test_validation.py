@@ -4,8 +4,8 @@ import pytest
 
 from repro.experiments.sweeps import run_all_sweeps
 from repro.experiments.validation import (
-    CheckResult,
     all_passed,
+    CheckResult,
     render_validation,
     validate_reproduction,
 )

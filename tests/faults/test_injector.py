@@ -8,7 +8,6 @@ from repro.core import EEVFSConfig
 from repro.core.filesystem import EEVFSCluster
 from repro.disk import DiskState
 from repro.faults import FaultInjector, FaultLog, FaultSchedule
-from repro.sim import Simulator
 from repro.traces import generate_synthetic_trace
 from repro.traces.synthetic import SyntheticWorkload
 

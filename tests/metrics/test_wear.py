@@ -7,8 +7,8 @@ import pytest
 
 from repro.core import EEVFSConfig, run_eevfs
 from repro.metrics.wear import (
-    SECONDS_PER_YEAR,
     cycles_per_year,
+    SECONDS_PER_YEAR,
     wear_report,
     years_to_rated_limit,
 )

@@ -1,8 +1,8 @@
 """Unit and property tests for the switching fabric."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import pytest
 
 from repro.net import Fabric, FAST_ETHERNET_BPS, GIGABIT_ETHERNET_BPS
 from repro.sim import Simulator

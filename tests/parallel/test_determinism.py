@@ -7,8 +7,8 @@ regenerate traces from seeds and run the identical ``execute_job`` path.
 
 import pytest
 
-from repro.experiments.sweeps import SWEEPS, run_sweep
-from repro.parallel import JobSpec, TraceSpec, run_jobs
+from repro.experiments.sweeps import run_sweep, SWEEPS
+from repro.parallel import JobSpec, run_jobs, TraceSpec
 from repro.traces.synthetic import SyntheticWorkload
 
 N_REQUESTS = 60  # tiny traces: 4 sweeps x 2 values x PF/NPF stays fast
@@ -34,7 +34,7 @@ def test_sweep_identical_serial_vs_parallel(sweep):
     serial = run_sweep(sweep, values=values, n_requests=N_REQUESTS, jobs=1)
     parallel = run_sweep(sweep, values=values, n_requests=N_REQUESTS, jobs=4)
     assert [p.value for p in serial] == [p.value for p in parallel]
-    for a, b in zip(serial, parallel):
+    for a, b in zip(serial, parallel, strict=True):
         assert _fingerprint(a.comparison) == _fingerprint(b.comparison)
 
 

@@ -4,7 +4,14 @@ import pytest
 
 from repro.core.filesystem import RunResult
 from repro.metrics.comparison import PairedComparison
-from repro.parallel import JobFailed, JobSpec, TraceSpec, execute_job, resolve_jobs, run_jobs
+from repro.parallel import (
+    execute_job,
+    JobFailed,
+    JobSpec,
+    resolve_jobs,
+    run_jobs,
+    TraceSpec,
+)
 from repro.traces.synthetic import SyntheticWorkload
 
 SMALL = TraceSpec(workload=SyntheticWorkload(n_requests=30))

@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.experiments.repetition import repeat_pair
-from repro.traces.cache import GLOBAL_TRACE_CACHE, TraceCache, trace_key
-from repro.traces.synthetic import SyntheticWorkload, generate_synthetic_trace
+from repro.traces.cache import GLOBAL_TRACE_CACHE, trace_key, TraceCache
+from repro.traces.synthetic import generate_synthetic_trace, SyntheticWorkload
 
 
 @pytest.fixture(autouse=True)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.replication import REPLICATION_POLICIES, holder_counts, plan_replicas
+from repro.replication import holder_counts, plan_replicas, REPLICATION_POLICIES
 
 NODES = ["node1", "node2", "node3", "node4"]
 

@@ -125,9 +125,9 @@ class TestConditions:
         def proc():
             a = sim.timeout(1.0, "a")
             b = sim.timeout(2.0, "b")
-            value = yield a | b
+            yield a | b
             results.append(sim.now)
-            value = yield a & b
+            yield a & b
             results.append(sim.now)
 
         sim.process(proc())

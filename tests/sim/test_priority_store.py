@@ -1,8 +1,8 @@
 """Tests for PriorityStore and Store.drain."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import pytest
 
 from repro.sim import Simulator, Store
 from repro.sim.resources import PriorityStore

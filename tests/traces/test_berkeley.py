@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.traces import generate_berkeley_like_trace
-from repro.traces.berkeley import MB, BerkeleyWebWorkload
+from repro.traces.berkeley import BerkeleyWebWorkload, MB
 from repro.traces.stats import coverage_of_top_k, gini_coefficient, working_set_size
 
 

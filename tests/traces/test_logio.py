@@ -8,11 +8,11 @@ import pytest
 from repro.traces import (
     AccessLog,
     FileSpec,
+    generate_synthetic_trace,
+    read_trace,
     RequestOp,
     Trace,
     TraceRequest,
-    generate_synthetic_trace,
-    read_trace,
     write_trace,
 )
 from repro.traces.logio import trace_round_trip

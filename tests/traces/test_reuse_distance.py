@@ -3,7 +3,6 @@
 import math
 
 import numpy as np
-import pytest
 
 from repro.traces import FileSpec, Trace, TraceRequest
 from repro.traces.stats import mean_reuse_distance, reuse_distances

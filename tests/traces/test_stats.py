@@ -1,11 +1,11 @@
 """Unit and property tests for workload statistics."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
-from repro.traces import FileSpec, Trace, TraceRequest, generate_synthetic_trace
+from repro.traces import FileSpec, generate_synthetic_trace, Trace, TraceRequest
 from repro.traces.stats import (
     access_counts,
     coverage_of_top_k,

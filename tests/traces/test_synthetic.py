@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.traces import RequestOp, generate_synthetic_trace
+from repro.traces import generate_synthetic_trace, RequestOp
 from repro.traces.stats import coverage_of_top_k, working_set_size
 from repro.traces.synthetic import MB, SyntheticWorkload
 
