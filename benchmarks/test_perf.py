@@ -13,6 +13,8 @@ from pathlib import Path
 
 from repro.experiments.perf import (
     DEFAULT_PATH,
+    HISTORY_LIMIT,
+    load_history,
     run_perf_benchmark,
     SCHEMA,
     validate_report,
@@ -40,3 +42,32 @@ def test_perf_benchmark_writes_valid_report():
     on_disk = json.loads(out.read_text())
     assert validate_report(on_disk) == []
     assert on_disk == json.loads(json.dumps(report))  # JSON round-trips
+
+    # History accumulates across invocations instead of being overwritten.
+    assert isinstance(report["history"], list)
+    assert 1 <= len(report["history"]) <= HISTORY_LIMIT
+    latest = report["history"][-1]
+    assert latest["engine_events_per_s"] == report["engine"]["events_per_s"]
+    assert latest["single_run_wall_s"] == report["single_run"]["wall_s"]
+    assert load_history(out) == report["history"]
+
+
+def test_history_migrates_v1_and_appends(tmp_path):
+    out = tmp_path / "BENCH_perf.json"
+    v1 = {
+        "schema": "eevfs-bench-perf/1",
+        "cpu_count": 4,
+        "engine": {"events": 10, "wall_s": 1.0, "events_per_s": 10.0},
+        "single_run": {"n_requests": 5, "wall_s": 0.5, "runs_per_s": 2.0},
+        "parallel": {"jobs": 2, "serial_s": 1.0, "parallel_s": 0.6,
+                     "speedup": 1.67, "identical_metrics": True},
+    }
+    out.write_text(json.dumps(v1))
+
+    first = run_perf_benchmark(n_requests=40, out_path=out)
+    assert len(first["history"]) == 2  # migrated v1 entry + this run
+    assert first["history"][0]["engine_events_per_s"] == 10.0
+
+    second = run_perf_benchmark(n_requests=40, out_path=out)
+    assert len(second["history"]) == 3
+    assert second["history"][:2] == first["history"][:2]

@@ -322,6 +322,66 @@ def _cmd_bench(args: argparse.Namespace) -> None:
         print(f"\nwritten to {args.out}")
 
 
+def _traced_run(args: argparse.Namespace):
+    """Run the default paper workload with observability attached."""
+    import numpy as np
+
+    from repro.core import EEVFSConfig, run_eevfs
+    from repro.traces.synthetic import SyntheticWorkload, generate_synthetic_trace
+
+    workload_trace = (
+        _read_trace(args.trace) if getattr(args, "trace", None) else None
+    )
+    if workload_trace is None:
+        workload_trace = generate_synthetic_trace(
+            SyntheticWorkload(n_requests=args.requests),
+            rng=np.random.default_rng(1),
+        )
+    config = EEVFSConfig(prefetch_enabled=not getattr(args, "npf", False))
+    return run_eevfs(workload_trace, config, seed=args.seed, obs=True)
+
+
+def _read_trace(path: str):
+    from repro.traces import read_trace
+
+    return read_trace(path)
+
+
+def _cmd_trace(args: argparse.Namespace) -> None:
+    """Run a traced paper workload and export the span trace."""
+    from repro.obs import write_chrome_trace, write_series_csv, write_spans_jsonl
+
+    result = _traced_run(args)
+    run_trace = result.trace
+    assert run_trace is not None  # obs=True guarantees a snapshot
+    events = write_chrome_trace(run_trace, args.out)
+    print(
+        f"chrome trace: {args.out} ({events} events; load in "
+        f"https://ui.perfetto.dev or chrome://tracing)"
+    )
+    if args.jsonl:
+        spans = write_spans_jsonl(run_trace, args.jsonl)
+        print(f"span dump:    {args.jsonl} ({spans} spans)")
+    if args.csv:
+        rows = write_series_csv(run_trace, args.csv)
+        print(f"time series:  {args.csv} ({rows} samples)")
+    print(
+        f"\n{len(run_trace.spans)} spans over {run_trace.duration_s:.1f}s "
+        f"simulated; kinds:"
+    )
+    for kind in run_trace.span_kinds():
+        print(f"  {kind:<18s} x{len(run_trace.spans_of(kind))}")
+
+
+def _cmd_profile(args: argparse.Namespace) -> None:
+    """Run a traced paper workload and print busy-time attribution."""
+    from repro.obs import profile_trace
+
+    result = _traced_run(args)
+    assert result.trace is not None
+    print(profile_trace(result.trace).render())
+
+
 def _cmd_trace_gen(args: argparse.Namespace) -> None:
     import numpy as np
 
@@ -453,6 +513,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="BENCH_perf.json", help="output JSON path"
     )
     bench.set_defaults(func=_cmd_bench)
+    tracer = sub.add_parser(
+        "trace", help="traced run: export Chrome trace JSON / JSONL / CSV"
+    )
+    tracer.add_argument(
+        "--out", default="eevfs_trace.json", help="Chrome trace-event JSON path"
+    )
+    tracer.add_argument("--jsonl", help="also dump one JSON object per span")
+    tracer.add_argument("--csv", help="also dump sampled telemetry series (CSV)")
+    tracer.add_argument("--trace", help="replay this trace file instead")
+    tracer.add_argument(
+        "--npf", action="store_true", help="trace the NPF (no-prefetch) mode"
+    )
+    tracer.set_defaults(func=_cmd_trace)
+    profiler = sub.add_parser(
+        "profile", help="sim-time profile: busy time per component"
+    )
+    profiler.add_argument("--trace", help="replay this trace file instead")
+    profiler.add_argument(
+        "--npf", action="store_true", help="profile the NPF (no-prefetch) mode"
+    )
+    profiler.set_defaults(func=_cmd_profile)
     gen = sub.add_parser("trace-gen", help="generate a workload trace file")
     gen.add_argument("kind", choices=["synthetic", "berkeley", "drifting"])
     gen.add_argument("path", help="output trace file")

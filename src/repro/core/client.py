@@ -113,6 +113,7 @@ class ClientDriver:
                 yield self.sim.timeout(target - self.sim.now)
             request_id = next_request_id()
             self._pending[request_id] = self.sim.now
+            self._trace_issue(request_id, request.file_id, request.op.name)
             payload = FileRequest(
                 request_id=request_id,
                 file_id=request.file_id,
@@ -138,6 +139,7 @@ class ClientDriver:
             request_id = next_request_id()
             issued = self.sim.now
             self._pending[request_id] = issued
+            self._trace_issue(request_id, request.file_id, request.op.name)
             done = self.sim.event()
             self._waiters[request_id] = done
             self.fabric.send(
@@ -175,6 +177,7 @@ class ClientDriver:
             request_id = next_request_id()
             issued = self.sim.now
             self._pending[request_id] = issued
+            self._trace_issue(request_id, request.file_id, request.op.name)
             done = self.sim.event()
             self._waiters[request_id] = done
             self.fabric.send(
@@ -191,6 +194,12 @@ class ClientDriver:
             yield done
         self._replay_finished = True
         return self.response_times
+
+    def _trace_issue(self, request_id: int, file_id: int, op: str) -> None:
+        """Open the root ``request`` span when observability is attached."""
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.begin_request(request_id, self.name, file_id=file_id, op=op)
 
     def _dispatch_loop(self):
         while True:
@@ -213,6 +222,11 @@ class ClientDriver:
                 self.completions.append(
                     (payload.request_id, payload.file_id, payload.served_by, elapsed)
                 )
+                tracer = self.sim.tracer
+                if tracer is not None:
+                    tracer.end_request(
+                        payload.request_id, ok=True, served_by=payload.served_by
+                    )
                 waiter = self._waiters.pop(payload.request_id, None)
                 if waiter is not None:
                     waiter.succeed()
@@ -223,6 +237,11 @@ class ClientDriver:
                 self.failures.append(
                     (payload.request_id, payload.file_id, payload.reason)
                 )
+                tracer = self.sim.tracer
+                if tracer is not None:
+                    tracer.end_request(
+                        payload.request_id, ok=False, reason=payload.reason
+                    )
                 waiter = self._waiters.pop(payload.request_id, None)
                 if waiter is not None:
                     waiter.succeed()

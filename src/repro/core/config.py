@@ -238,6 +238,13 @@ class EEVFSConfig:
     #: Per-request CPU overhead at server and node (lookup, thread wake).
     server_overhead_s: float = 0.0002
     node_overhead_s: float = 0.0002
+    #: Attach the observability subsystem (repro.obs): span tracing,
+    #: telemetry sampling, and a RunResult.trace snapshot.  Off by
+    #: default -- tracing observes the run without changing any metric,
+    #: but the extra bookkeeping costs wall-clock time.
+    obs: bool = False
+    #: Simulated seconds between telemetry samples when ``obs`` is on.
+    obs_sample_interval_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.prefetch_files < 0:
@@ -287,6 +294,8 @@ class EEVFSConfig:
             raise ValueError("rereplication_batch must be >= 1")
         if self.popularity_window_s is not None and self.popularity_window_s <= 0:
             raise ValueError("popularity_window_s must be > 0")
+        if self.obs_sample_interval_s <= 0:
+            raise ValueError("obs_sample_interval_s must be > 0")
 
     def as_npf(self) -> "EEVFSConfig":
         """The paper's NPF comparator: same system, prefetching off."""

@@ -19,14 +19,21 @@ from repro.core.client import ClientDriver
 from repro.core.config import ClusterSpec, default_cluster, EEVFSConfig
 from repro.core.node import StorageNode
 from repro.core.server import StorageServer
+from repro.disk.states import DiskState
 from repro.faults.injector import FaultInjector
 from repro.faults.log import FaultLog
 from repro.faults.schedule import FaultSchedule
 from repro.net.fabric import Fabric
+from repro.obs.runtime import Observability, maybe_snapshot
+from repro.obs.tracer import RunTrace
 from repro.sim.engine import Simulator
 from repro.sim.monitor import TallyStat
 from repro.sim.rng import RandomStreams
 from repro.traces.model import Trace
+
+#: Stable numeric code per disk power state, for the per-disk state
+#: occupancy series (CSV export needs numbers, not enum names).
+DISK_STATE_CODES = {state: code for code, state in enumerate(DiskState)}
 
 
 @dataclass
@@ -113,6 +120,10 @@ class RunResult:
     fault_events: int = 0
     #: The injector's event log (None when no schedule was given).
     fault_log: Optional[FaultLog] = None
+    #: Observability snapshot (spans + telemetry series); None unless the
+    #: run was executed with ``obs`` enabled.  Plain data -- safe to
+    #: pickle across the repro.parallel process boundary.
+    trace: Optional[RunTrace] = None
 
     @property
     def duration_s(self) -> float:
@@ -164,6 +175,7 @@ class EEVFSCluster:
         record_history: bool = False,
         node_class: type = StorageNode,
         faults: Optional[FaultSchedule] = None,
+        obs: Optional[bool] = None,
     ) -> None:
         self.node_class = node_class
         self.cluster = cluster if cluster is not None else default_cluster()
@@ -217,6 +229,59 @@ class EEVFSCluster:
             self.injector = FaultInjector(
                 self.sim, self, faults, streams=self.streams
             )
+        #: Observability (repro.obs): attached when ``obs`` (argument
+        #: overrides ``config.obs``) is set; None keeps the zero-cost
+        #: untraced path -- no tracer, no event hook, no sampler.
+        self.observer: Optional[Observability] = None
+        if self.config.obs if obs is None else obs:
+            self.observer = Observability(
+                self.sim,
+                sample_interval_s=self.config.obs_sample_interval_s,
+            )
+            self._register_telemetry()
+            self.observer.attach()
+
+    def _register_telemetry(self) -> None:
+        """Register the standard gauges against this cluster's state.
+
+        Gauges close over live model objects and are re-read at each
+        sample tick; only their sampled series leave the simulator.
+        """
+        assert self.observer is not None
+        telemetry = self.observer.telemetry
+        nodes = self.nodes
+        all_disks = [disk for node in nodes for disk in node.all_disks]
+
+        def hit_ratio() -> float:
+            hits = sum(n.buffer_hits for n in nodes)
+            served = hits + sum(n.data_disk_hits for n in nodes)
+            return hits / served if served else 0.0
+
+        telemetry.gauge("buffer_hit_ratio", hit_ratio)
+        telemetry.gauge(
+            "client.outstanding", lambda: float(self.client.outstanding)
+        )
+        telemetry.gauge(
+            "disk.queue_depth",
+            lambda: float(sum(d.inflight for d in all_disks)),
+        )
+        telemetry.gauge(
+            "disk.spinups_total",
+            lambda: float(sum(d.meter.spinup_count for d in all_disks)),
+        )
+        telemetry.gauge(
+            "disks.sleeping",
+            lambda: float(sum(1 for d in all_disks if d.is_sleeping)),
+        )
+        telemetry.gauge(
+            "disks.serving",
+            lambda: float(sum(1 for d in all_disks if d.state.can_serve)),
+        )
+        for disk in all_disks:
+            telemetry.gauge(
+                f"disk.state:{disk.name}",
+                lambda d=disk: float(DISK_STATE_CODES[d.state]),
+            )
 
     def run(
         self,
@@ -231,9 +296,15 @@ class EEVFSCluster:
         :meth:`ClientDriver.replay`); ``history`` optionally supplies a
         different trace for the popularity log (stale-popularity studies).
         """
+        tracer = self.sim.tracer
+        setup_span = (
+            tracer.begin("setup", "cluster") if tracer is not None else None
+        )
         setup = self.server.setup(trace, history=history)
         self.sim.run(until=setup)
         epoch = self.sim.now
+        if setup_span is not None and tracer is not None:
+            tracer.end(setup_span)
         if self.injector is not None:
             self.injector.start(epoch)
 
@@ -243,6 +314,9 @@ class EEVFSCluster:
         }
         server_energy_at_epoch = self._server_energy_j()
 
+        replay_span = (
+            tracer.begin("replay", "cluster") if tracer is not None else None
+        )
         replay = self.client.replay(trace, epoch_s=epoch, mode=replay_mode)
         finished = self.sim.run(until=replay)
         if finished is None and self.client.outstanding:
@@ -250,6 +324,8 @@ class EEVFSCluster:
                 f"run stalled with {self.client.outstanding} outstanding requests"
             )
         end = self.sim.now
+        if replay_span is not None and tracer is not None:
+            tracer.end(replay_span)
         if end - epoch > timeout_s:  # pragma: no cover - guard rail
             raise RuntimeError(f"run exceeded timeout ({end - epoch:.0f}s simulated)")
 
@@ -342,6 +418,7 @@ class EEVFSCluster:
             ),
             fault_events=len(self.injector.log) if self.injector else 0,
             fault_log=self.injector.log if self.injector else None,
+            trace=maybe_snapshot(self.observer),
         )
 
     def _server_energy_j(self) -> float:
@@ -357,8 +434,13 @@ def run_eevfs(
     seed: int = 0,
     replay_mode: str = "paced",
     faults: Optional[FaultSchedule] = None,
+    obs: Optional[bool] = None,
 ) -> RunResult:
-    """One-call helper: build a cluster, run *trace*, return the result."""
-    return EEVFSCluster(cluster=cluster, config=config, seed=seed, faults=faults).run(
-        trace, replay_mode=replay_mode
-    )
+    """One-call helper: build a cluster, run *trace*, return the result.
+
+    ``obs`` overrides ``config.obs`` (None defers to the config): pass
+    True to attach span tracing + telemetry and get ``result.trace``.
+    """
+    return EEVFSCluster(
+        cluster=cluster, config=config, seed=seed, faults=faults, obs=obs
+    ).run(trace, replay_mode=replay_mode)

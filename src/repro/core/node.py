@@ -304,6 +304,12 @@ class StorageNode:
                 continue
             size = self.metadata.size_of(file_id)
             stripe = self.metadata.stripe_size_bytes(file_id)
+            tracer = self.sim.tracer
+            copy_span = None
+            if tracer is not None:
+                copy_span = tracer.begin(
+                    "prefetch.copy", self.spec.name, file_id=file_id, bytes=size
+                )
             try:
                 reads = [
                     self.data_disks[disk].submit(
@@ -326,7 +332,11 @@ class StorageNode:
             except DiskFailureError:
                 # A dead source (or buffer) disk costs this file its
                 # buffer copy, not the node its prefetch loop.
+                if copy_span is not None:
+                    tracer.end(copy_span, ok=False)
                 continue
+            if copy_span is not None:
+                tracer.end(copy_span, ok=True)
             self.metadata.mark_prefetched(file_id)
             self.prefetch_stats.files_copied += 1
             self.prefetch_stats.bytes_copied += size
@@ -369,12 +379,22 @@ class StorageNode:
                 disks = [self.data_disks[i] for i in self.metadata.stripe_disks(file_id)]
                 awake = all(d.state.can_serve and d.inflight == 0 for d in disks)
                 if awake or over_highwater or file_id in aged:
+                    tracer = self.sim.tracer
+                    span = None
+                    if tracer is not None:
+                        span = tracer.begin(
+                            "destage.copy", self.spec.name, file_id=file_id
+                        )
                     try:
                         yield self.sim.process(self._destage_one(file_id))
                     except DiskFailureError:
                         # Target disk died; the data stays (safely) dirty
                         # on the buffer disk.
+                        if span is not None:
+                            tracer.end(span, ok=False)
                         continue
+                    if span is not None:
+                        tracer.end(span, ok=True)
                     over_highwater = self._write_buffer_over_highwater()
 
     def _write_buffer_over_highwater(self) -> bool:
@@ -481,6 +501,26 @@ class StorageNode:
     # -- request service (Fig. 2 steps 5-6) -------------------------------------------------------
 
     def _serve(self, forwarded: ForwardedRequest):
+        """Wrap :meth:`_serve_inner` in a ``node.dispatch`` span when
+        observability is attached; otherwise delegate at zero cost."""
+        tracer = self.sim.tracer
+        if tracer is None:
+            yield from self._serve_inner(forwarded)
+            return
+        request = forwarded.request
+        span = tracer.begin(
+            "node.dispatch",
+            self.spec.name,
+            parent=tracer.request_span(request.request_id),
+            file_id=request.file_id,
+            op=request.op.name,
+        )
+        try:
+            yield from self._serve_inner(forwarded)
+        finally:
+            tracer.end(span)
+
+    def _serve_inner(self, forwarded: ForwardedRequest):
         request = forwarded.request
         if self.config.node_overhead_s > 0:
             yield self.sim.timeout(self.config.node_overhead_s)

@@ -220,6 +220,11 @@ class PowerManager:
         if not disk.request_sleep():
             return False
         self.sleeps_initiated += 1
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                "power.sleep", disk.name, window_s=window, predictor=self.predictor
+            )
         if self.wake_ahead:
             self._mark_wake_point(disk_index)
         return True
@@ -251,6 +256,9 @@ class PowerManager:
         """Mark the §III-C wake-up transition point for a sleeping disk."""
         disk = self.disks[disk_index]
         self.wakeaheads_scheduled += 1
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant("power.wake_ahead", disk.name, predictor=self.predictor)
         if self.predictor == "sequence":
             seqs = self._future_seqs[disk_index]
             if not seqs:

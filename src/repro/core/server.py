@@ -279,6 +279,15 @@ class StorageServer:
                 # Lookup + forward; per-request CPU overhead serialises
                 # here, which is exactly the server-bottleneck concern
                 # §III-A raises (and simplifying the server mitigates).
+                tracer = self.sim.tracer
+                lookup = None
+                if tracer is not None:
+                    lookup = tracer.begin(
+                        "server.lookup",
+                        self.name,
+                        parent=tracer.request_span(payload.request_id),
+                        file_id=payload.file_id,
+                    )
                 if self.config.server_overhead_s > 0:
                     yield self.sim.timeout(self.config.server_overhead_s)
                 self.online_log.append(self.sim.now, payload.file_id)
@@ -296,6 +305,8 @@ class StorageServer:
                             reason="no live holder",
                         ),
                     )
+                    if lookup is not None:
+                        tracer.end(lookup, routed=False)
                     continue
                 primary, backups = holders[0], tuple(holders[1:])
                 self.fabric.send(
@@ -304,6 +315,8 @@ class StorageServer:
                     ForwardedRequest(request=payload, failover=backups),
                 )
                 self.requests_forwarded += 1
+                if lookup is not None:
+                    tracer.end(lookup, routed=True, node=primary)
                 # Replicated writes fan out silently to the other holders
                 # so replicas never go stale; only the primary replies.
                 if (

@@ -63,6 +63,7 @@ class LintConfig:
         "repro/faults",
         "repro/replication",
         "repro/net",
+        "repro/obs",
     )
     #: Modules whose objects cross the process-pool pickle boundary
     #: (PAR001): the specs themselves plus everything their fields hold.
@@ -86,6 +87,8 @@ class LintConfig:
     slotted_modules: tuple[str, ...] = (
         "repro/sim/monitor.py",
         "repro/sim/resources.py",
+        "repro/obs/tracer.py",
+        "repro/obs/telemetry.py",
     )
 
 

@@ -11,7 +11,10 @@ and runs a model repeatedly and raises :class:`DeterminismError` with
 both digests when they diverge.
 
 The hook is opt-in: an unobserved run keeps the engine's inlined hot
-loop and pays nothing (see :meth:`Simulator.set_event_hook`).
+loop and pays nothing (see :meth:`Simulator.add_event_hook`).  Because
+the engine dispatches to *all* installed hooks, the hasher coexists with
+other observers -- notably the :mod:`repro.obs` tracer -- on the same
+run.
 """
 
 from __future__ import annotations
@@ -64,14 +67,17 @@ class EventStreamHasher:
         return self._digest.hexdigest()
 
     def attach(self, sim: Simulator) -> "EventStreamHasher":
-        """Install this hasher as *sim*'s event hook (returns self)."""
-        sim.set_event_hook(self)
+        """Add this hasher to *sim*'s event hooks (returns self).
+
+        Other observers (e.g. an :mod:`repro.obs` tracer) stay installed;
+        the engine dispatches to every hook in installation order.
+        """
+        sim.add_event_hook(self)
         return self
 
-    @staticmethod
-    def detach(sim: Simulator) -> None:
-        """Remove any event hook from *sim*."""
-        sim.set_event_hook(None)
+    def detach(self, sim: Simulator) -> None:
+        """Remove this hasher from *sim*'s event hooks (idempotent)."""
+        sim.remove_event_hook(self)
 
 
 def digest_run(

@@ -37,6 +37,8 @@ from repro.sim.resources import PriorityStore, Store
 if TYPE_CHECKING:  # pragma: no cover - typing only
     import numpy as np
 
+    from repro.obs.tracer import Span
+
 _request_ids = itertools.count()
 
 
@@ -179,6 +181,8 @@ class SimDisk:
         self.service_times = TallyStat(name=f"{name}:service")
         #: Re-armed event that fires when a spin-up/down completes.
         self._transition_done: Event = sim.event()
+        #: Open spinup/spindown span (observability only; None otherwise).
+        self._transition_span: Optional["Span"] = None
         self._idle_started: Event = sim.event()
         self._watchdog_timing = False
         self._server = sim.process(self._server_loop())
@@ -264,12 +268,20 @@ class SimDisk:
         (time and energy) but falls back to STANDBY, observes the injected
         back-off, then releases waiters so the next attempt retries."""
         self._set_state(DiskState.SPIN_UP)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            self._transition_span = tracer.begin(
+                "spinup", self.name, injected_failure=True
+            )
         self._transition_done = self.sim.event()
         done = self._transition_done
         yield self.sim.timeout(duration)
         if self.state is DiskState.FAILED:
-            return  # the drive died mid-attempt; fail() settled `done`
+            # The drive died mid-attempt; fail() settled `done`.
+            self._end_transition_span(ok=False)
+            return
         self._set_state(DiskState.STANDBY)
+        self._end_transition_span(ok=False)
         if self._flaky_backoff_s > 0:
             yield self.sim.timeout(self._flaky_backoff_s)
         if done.triggered:
@@ -434,8 +446,28 @@ class SimDisk:
         self, via: DiskState, target: DiskState, duration: float
     ) -> None:
         self._set_state(via)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            if via is DiskState.SPIN_UP:
+                span_kind = "spinup"
+            elif via is DiskState.SPIN_DOWN:
+                span_kind = "spindown"
+            else:
+                span_kind = "disk.shift"
+            self._transition_span = tracer.begin(
+                span_kind, self.name, target=target.value
+            )
         self._transition_done = self.sim.event()
         self.sim.process(self._finish_transition(target, duration))
+
+    def _end_transition_span(self, **tags: object) -> None:
+        """Close the open transition span, if tracing is attached."""
+        span = self._transition_span
+        if span is not None:
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.end(span, **tags)
+            self._transition_span = None
 
     def _finish_transition(
         self, target: DiskState, duration: float
@@ -443,8 +475,11 @@ class SimDisk:
         done = self._transition_done
         yield self.sim.timeout(duration)
         if self.state is DiskState.FAILED:
-            return  # the drive died mid-transition; fail() settled `done`
+            # The drive died mid-transition; fail() settled `done`.
+            self._end_transition_span(ok=False)
+            return
         self._set_state(target)
+        self._end_transition_span()
         done.succeed()
         # A request may have landed while we were spinning down; chain the
         # wake-up immediately so it is not stranded until the next submit.
@@ -477,7 +512,18 @@ class SimDisk:
             duration = self.slowdown * model.service_time(
                 request.size_bytes, sequential=request.sequential
             )
+            tracer = sim.tracer
+            span: Optional["Span"] = None
+            if tracer is not None:
+                span = tracer.begin(
+                    "disk.service",
+                    self.name,
+                    io=request.kind.value,
+                    bytes=request.size_bytes,
+                )
             yield sim.timeout(duration)
+            if span is not None and tracer is not None:
+                tracer.end(span)
             self.inflight -= 1
             self.requests_served += 1
             self.bytes_served += request.size_bytes

@@ -1,7 +1,7 @@
 """Tracked performance benchmarks: engine throughput and fan-out speedup.
 
 :func:`run_perf_benchmark` measures three things and writes them to
-``BENCH_perf.json`` (schema ``eevfs-bench-perf/1``) so regressions show
+``BENCH_perf.json`` (schema ``eevfs-bench-perf/2``) so regressions show
 up as a diff rather than an anecdote:
 
 * **engine** -- raw event-loop throughput (events/second) on a synthetic
@@ -15,6 +15,13 @@ up as a diff rather than an anecdote:
 Numbers are machine-dependent; the JSON records the host's CPU count so
 results are comparable across commits on the same machine, not across
 machines.
+
+Schema v2 adds a ``history`` list: each benchmark invocation appends a
+compact entry (headline numbers + wall-clock timestamp) while the
+latest full sections stay under the v1 top-level keys, so the bench
+trajectory accumulates across commits instead of being overwritten.  A
+v1 file found on disk is migrated -- its numbers become the first
+history entry.
 """
 
 from __future__ import annotations
@@ -33,8 +40,11 @@ from repro.sim import Simulator
 from repro.traces.cache import cached_trace
 from repro.traces.synthetic import SyntheticWorkload
 
-SCHEMA = "eevfs-bench-perf/1"
+SCHEMA = "eevfs-bench-perf/2"
+SCHEMA_V1 = "eevfs-bench-perf/1"
 DEFAULT_PATH = Path("BENCH_perf.json")
+#: Oldest history entries are dropped beyond this many runs.
+HISTORY_LIMIT = 100
 
 
 def engine_benchmark(horizon_s: float = 4000.0, n_procs: int = 64) -> Dict[str, Any]:
@@ -122,14 +132,64 @@ def parallel_benchmark(
     }
 
 
+def _history_entry(report: Dict[str, Any]) -> Dict[str, Any]:
+    """Compact headline numbers of one report, for the history list."""
+    engine = report.get("engine") or {}
+    single = report.get("single_run") or {}
+    parallel = report.get("parallel") or {}
+    return {
+        "ts": report.get("ts"),
+        "cpu_count": report.get("cpu_count"),
+        "engine_events_per_s": engine.get("events_per_s"),
+        "single_run_n_requests": single.get("n_requests"),
+        "single_run_wall_s": single.get("wall_s"),
+        "single_run_runs_per_s": single.get("runs_per_s"),
+        "parallel_jobs": parallel.get("jobs"),
+        "parallel_speedup": parallel.get("speedup"),
+    }
+
+
+def load_history(out_path: os.PathLike) -> List[Dict[str, Any]]:
+    """Prior run history from an existing report file (empty if none).
+
+    A v2 file contributes its ``history`` list; a v1 file (no history)
+    is migrated by synthesising one entry from its top-level sections.
+    An unreadable or alien file contributes nothing -- the benchmark
+    must never fail because an old artifact went stale.
+    """
+    path = Path(out_path)
+    if not path.exists():
+        return []
+    try:
+        previous = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return []
+    if not isinstance(previous, dict):
+        return []
+    schema = previous.get("schema")
+    if schema == SCHEMA:
+        history = previous.get("history")
+        return list(history) if isinstance(history, list) else []
+    if schema == SCHEMA_V1:
+        return [_history_entry(previous)]
+    return []
+
+
 def run_perf_benchmark(
     n_requests: int = 300,
     jobs: Optional[int] = None,
     out_path: Optional[os.PathLike] = DEFAULT_PATH,
 ) -> Dict[str, Any]:
-    """Run all three benchmark families; optionally write the JSON file."""
+    """Run all three benchmark families; optionally write the JSON file.
+
+    When *out_path* already holds a previous report, its run history is
+    carried forward and this run is appended -- the file accumulates the
+    bench trajectory (capped at :data:`HISTORY_LIMIT` entries) instead
+    of overwriting it.
+    """
     report = {
         "schema": SCHEMA,
+        "ts": time.time(),
         "cpu_count": os.cpu_count(),
         "engine": engine_benchmark(),
         "single_run": single_run_benchmark(n_requests=n_requests),
@@ -137,6 +197,9 @@ def run_perf_benchmark(
             n_requests=max(50, n_requests // 2), jobs=jobs
         ),
     }
+    history = load_history(out_path) if out_path is not None else []
+    history.append(_history_entry(report))
+    report["history"] = history[-HISTORY_LIMIT:]
     if out_path is not None:
         Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
     return report
@@ -162,6 +225,11 @@ def validate_report(report: Dict[str, Any]) -> List[str]:
     parallel = report.get("parallel")
     if isinstance(parallel, dict) and parallel.get("identical_metrics") is not True:
         problems.append("parallel.identical_metrics is not True")
+    history = report.get("history")
+    if not isinstance(history, list) or not history:
+        problems.append("history missing or empty")
+    elif len(history) > HISTORY_LIMIT:
+        problems.append(f"history has {len(history)} entries, limit {HISTORY_LIMIT}")
     return problems
 
 
@@ -170,6 +238,7 @@ def render_report(report: Dict[str, Any]) -> str:
     engine = report["engine"]
     single = report["single_run"]
     parallel = report["parallel"]
+    history = report.get("history", [])
     return "\n".join(
         [
             f"engine      {engine['events_per_s']:,.0f} events/s "
@@ -181,5 +250,6 @@ def render_report(report: Dict[str, Any]) -> str:
             f"(serial {parallel['serial_s']:.2f} s -> "
             f"parallel {parallel['parallel_s']:.2f} s); "
             f"identical metrics: {parallel['identical_metrics']}",
+            f"history     {len(history)} run(s) recorded",
         ]
     )

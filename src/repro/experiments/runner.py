@@ -41,11 +41,18 @@ def run_pair(
     config: Optional[EEVFSConfig] = None,
     cluster: Optional[ClusterSpec] = None,
     seed: int = 0,
+    obs: Optional[bool] = None,
 ) -> PairedComparison:
-    """Run PF and NPF over the same *trace* and compare."""
+    """Run PF and NPF over the same *trace* and compare.
+
+    ``obs`` attaches observability (span traces on both runs' results);
+    None defers to ``config.obs``.
+    """
     config = config or EEVFSConfig()
-    pf = run_eevfs(trace, config=config.as_pf(), cluster=cluster, seed=seed)
-    npf = run_eevfs(trace, config=config.as_npf(), cluster=cluster, seed=seed)
+    pf = run_eevfs(trace, config=config.as_pf(), cluster=cluster, seed=seed, obs=obs)
+    npf = run_eevfs(
+        trace, config=config.as_npf(), cluster=cluster, seed=seed, obs=obs
+    )
     return compare(pf, npf)
 
 

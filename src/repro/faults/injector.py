@@ -100,6 +100,9 @@ class FaultInjector:
 
     def _apply(self, action: FaultAction) -> None:
         t = self.sim.now
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant("fault", action.target, kind=action.kind)
         if action.kind == DISK_FAIL:
             self._disk(action).fail()
             self.log.record(t, DISK_FAIL, action.target)

@@ -119,6 +119,21 @@ class Fabric:
 
     def _deliver(self, sender: Endpoint, receiver: Endpoint, message: Message):
         message.sent_at = self.sim.now
+        tracer = self.sim.tracer
+        span = None
+        if tracer is not None:
+            request_id = getattr(message.payload, "request_id", None)
+            span = tracer.begin(
+                "net.transfer",
+                f"net:{sender.name}",
+                parent=(
+                    None if request_id is None else tracer.request_span(request_id)
+                ),
+                src=message.src,
+                dst=message.dst,
+                bytes=message.size_bytes,
+                payload=type(message.payload).__name__,
+            )
         rate = min(sender.tx.bandwidth_bps, receiver.rx.bandwidth_bps)
         duration = self.latency_s + message.size_bytes / rate
         # The sender's TX is busy for the whole (possibly rate-capped)
@@ -140,6 +155,8 @@ class Fabric:
             self.messages_sent += 1
             self.bytes_sent += message.size_bytes
         message.delivered_at = self.sim.now
+        if span is not None and tracer is not None:
+            tracer.end(span)
         receiver.messages_received += 1
         yield receiver.inbox.put(message)
         return message

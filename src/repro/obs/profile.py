@@ -1,0 +1,167 @@
+"""Sim-time profiler: busy-time attribution over a recorded trace.
+
+Wall-clock profilers answer "where did the CPU go"; this one answers
+"where did *simulated* time go" -- the quantity the paper's figures are
+actually about.  From a :class:`~repro.obs.tracer.RunTrace` it computes:
+
+* **per-kind totals** -- summed span durations and counts per span kind
+  (``disk.service``, ``net.transfer``, ...);
+* **per-track busy time** -- union of span intervals per component track
+  (overlapping spans on one track count once), i.e. the fraction of the
+  run each disk / node / link spent occupied;
+* a **flame summary** -- parent-linked kinds rendered as an indented
+  text tree with self/total time, the textual cousin of a flame graph.
+
+Everything here is pure arithmetic over plain data; no simulator needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.tracer import RunTrace, Span
+
+
+class KindStat:
+    """Aggregate for one span kind: count, total and self time."""
+
+    __slots__ = ("kind", "count", "total_s", "self_s")
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self.count = 0
+        self.total_s = 0.0
+        #: Total minus the time covered by direct child spans.
+        self.self_s = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<KindStat {self.kind!r} n={self.count} total={self.total_s:.6g}s>"
+
+
+def merged_busy_time(spans: List[Span]) -> float:
+    """Length of the union of the spans' [start, end] intervals."""
+    intervals = sorted(
+        (span.start_s, span.end_s if span.end_s is not None else span.start_s)
+        for span in spans
+        if not span.is_instant
+    )
+    busy = 0.0
+    cursor = float("-inf")
+    for start, end in intervals:
+        if end <= cursor:
+            continue
+        busy += end - max(start, cursor)
+        cursor = end
+    return busy
+
+
+class ProfileReport:
+    """The computed profile: per-kind and per-track attribution."""
+
+    __slots__ = ("duration_s", "by_kind", "by_track", "children", "roots")
+
+    def __init__(self, trace: RunTrace) -> None:
+        self.duration_s = trace.duration_s
+        self.by_kind: Dict[str, KindStat] = {}
+        self.by_track: Dict[str, float] = {}
+        #: parent kind -> sorted child kinds (from span parent links).
+        self.children: Dict[str, List[str]] = {}
+        #: kinds that never appear as a child of another kind.
+        self.roots: List[str] = []
+        self._build(trace)
+
+    def _build(self, trace: RunTrace) -> None:
+        by_id: Dict[int, Span] = {span.span_id: span for span in trace.spans}
+        child_time: Dict[int, float] = {}
+        edges: Dict[str, set[str]] = {}
+        child_kinds: set[str] = set()
+
+        for span in trace.spans:
+            stat = self.by_kind.get(span.kind)
+            if stat is None:
+                stat = KindStat(span.kind)
+                self.by_kind[span.kind] = stat
+            stat.count += 1
+            stat.total_s += span.duration_s
+            if span.parent_id is not None:
+                parent = by_id.get(span.parent_id)
+                if parent is not None:
+                    child_time[parent.span_id] = (
+                        child_time.get(parent.span_id, 0.0) + span.duration_s
+                    )
+                    edges.setdefault(parent.kind, set()).add(span.kind)
+                    child_kinds.add(span.kind)
+
+        for span in trace.spans:
+            stat = self.by_kind[span.kind]
+            # Clamp at zero: overlapping children can exceed the parent.
+            stat.self_s += max(0.0, span.duration_s - child_time.get(span.span_id, 0.0))
+
+        tracks: Dict[str, List[Span]] = {}
+        for span in trace.spans:
+            tracks.setdefault(span.track, []).append(span)
+        for track in sorted(tracks):
+            self.by_track[track] = merged_busy_time(tracks[track])
+
+        self.children = {kind: sorted(kids) for kind, kids in sorted(edges.items())}
+        self.roots = sorted(k for k in self.by_kind if k not in child_kinds)
+
+    # -- rendering ----------------------------------------------------------------
+
+    def _pct(self, seconds: float) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return 100.0 * seconds / self.duration_s
+
+    def _render_kind(
+        self,
+        kind: str,
+        depth: int,
+        lines: List[str],
+        seen: Optional[set[str]] = None,
+    ) -> None:
+        if seen is None:
+            seen = set()
+        if kind in seen:  # defensive: parent links should be acyclic
+            return
+        seen = seen | {kind}
+        stat = self.by_kind[kind]
+        indent = "  " * depth
+        lines.append(
+            f"{indent}{stat.kind:<{max(1, 24 - 2 * depth)}s}"
+            f" {stat.total_s:>10.3f}s {self._pct(stat.total_s):>5.1f}%"
+            f"  self {stat.self_s:>9.3f}s  n={stat.count}"
+        )
+        for child in self.children.get(kind, []):
+            if child in self.by_kind:
+                self._render_kind(child, depth + 1, lines, seen)
+
+    def render(self, top_tracks: int = 12) -> str:
+        """Render the text flame summary plus the busiest tracks."""
+        lines: List[str] = [
+            f"sim-time profile  (run duration {self.duration_s:.3f}s simulated)",
+            "",
+            "flame summary (total / % of run / self / count):",
+        ]
+        if not self.by_kind:
+            lines.append("  (no spans recorded)")
+        for root in self.roots:
+            self._render_kind(root, 1, lines)
+        lines.append("")
+        lines.append(f"busiest tracks (interval union, top {top_tracks}):")
+        ranked: List[Tuple[str, float]] = sorted(
+            self.by_track.items(), key=lambda item: (-item[1], item[0])
+        )
+        for track, busy in ranked[:top_tracks]:
+            lines.append(f"  {track:<24s} {busy:>10.3f}s {self._pct(busy):>5.1f}% busy")
+        if len(ranked) > top_tracks:
+            lines.append(f"  ... and {len(ranked) - top_tracks} more tracks")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ProfileReport kinds={len(self.by_kind)} tracks={len(self.by_track)}>"
+
+
+def profile_trace(trace: RunTrace) -> ProfileReport:
+    """Compute the busy-time profile of *trace*."""
+    return ProfileReport(trace)

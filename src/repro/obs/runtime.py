@@ -1,0 +1,120 @@
+"""Observability runtime: wires tracer + telemetry onto one simulator.
+
+:class:`Observability` is the single attachment point the cluster layer
+uses.  On :meth:`attach` it
+
+* publishes the :class:`~repro.obs.tracer.Tracer` on ``sim.tracer``
+  (instrumented components None-check that attribute),
+* installs the tracer's per-event-type counter via the engine's
+  multi-hook dispatch (coexisting with a determinism hasher), and
+* starts the telemetry sampler, a sim process that snapshots every
+  counter/gauge each ``sample_interval_s`` of simulated time.
+
+The sampler is an infinite loop, which is safe here because the cluster
+runs the engine with ``run(until=<event>)``; it must not be attached to
+a model that runs the heap to exhaustion (the run would never drain).
+All of this is strictly additive: nothing in this module schedules
+model events, draws randomness, or mutates model state, so a traced
+run's metrics equal an untraced run's.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.obs.tracer import RunTrace, Tracer
+from repro.obs.telemetry import TelemetryRegistry
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+
+#: Default simulated-time spacing between telemetry samples.
+DEFAULT_SAMPLE_INTERVAL_S = 1.0
+
+
+class Observability:
+    """Tracer + telemetry registry bound to one :class:`Simulator`."""
+
+    __slots__ = ("sim", "tracer", "telemetry", "sample_interval_s", "_attached")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sample_interval_s: float = DEFAULT_SAMPLE_INTERVAL_S,
+    ) -> None:
+        if sample_interval_s <= 0:
+            raise ValueError(
+                f"sample_interval_s must be positive (got {sample_interval_s!r})"
+            )
+        self.sim = sim
+        self.tracer = Tracer(sim)
+        self.telemetry = TelemetryRegistry()
+        self.sample_interval_s = sample_interval_s
+        self._attached = False
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def attach(self) -> "Observability":
+        """Install the tracer and start the sampler (returns self)."""
+        if self._attached:
+            return self
+        if self.sim.tracer is not None:
+            raise RuntimeError("simulator already has a tracer attached")
+        self.sim.tracer = self.tracer
+        self.sim.add_event_hook(self.tracer.on_event)
+        self.sim.process(self._sample_loop())
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        """Unpublish the tracer and stop counting events (idempotent).
+
+        The sampler process stays on the heap but samples nothing new
+        once detached runs end; detach exists so the simulator can be
+        reused without double-attachment errors.
+        """
+        if not self._attached:
+            return
+        self.sim.remove_event_hook(self.tracer.on_event)
+        self.sim.tracer = None
+        self._attached = False
+
+    def _sample_loop(self) -> Generator[Event, Any, None]:
+        """Sim process: sample all instruments every tick, forever."""
+        sim = self.sim
+        telemetry = self.telemetry
+        while True:
+            telemetry.sample(sim.now)
+            yield sim.timeout(self.sample_interval_s)
+
+    # -- output -------------------------------------------------------------------
+
+    def snapshot(self) -> RunTrace:
+        """Freeze the run into a plain-data :class:`RunTrace`.
+
+        Takes one final telemetry sample at the current instant (so the
+        series always cover the full run) before snapshotting.
+        """
+        self.telemetry.sample(self.sim.now)
+        return self.tracer.snapshot(
+            series=self.telemetry.series,
+            counters=self.telemetry.counter_totals(),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "attached" if self._attached else "detached"
+        return f"<Observability {state} spans={len(self.tracer.spans)}>"
+
+
+def attach_observability(
+    sim: Simulator,
+    sample_interval_s: float = DEFAULT_SAMPLE_INTERVAL_S,
+) -> Observability:
+    """Create and attach an :class:`Observability` bundle to *sim*."""
+    return Observability(sim, sample_interval_s=sample_interval_s).attach()
+
+
+def maybe_snapshot(observer: Optional[Observability]) -> Optional[RunTrace]:
+    """Snapshot *observer* if present; ``None`` passthrough otherwise."""
+    if observer is None:
+        return None
+    return observer.snapshot()

@@ -3,10 +3,14 @@
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Callable, Generator, Iterable, List, Optional, TYPE_CHECKING
+import warnings
 
 from repro.sim.events import AllOf, AnyOf, Event, NORMAL, PENDING, Timeout, URGENT
 from repro.sim.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Tracer
 
 
 class StopSimulation(Exception):
@@ -49,9 +53,13 @@ class Simulator:
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._events_processed = 0
-        #: Optional observer called as ``hook(now, event)`` for every
-        #: processed event (see :meth:`set_event_hook`).
-        self._event_hook: Optional[Callable[[float, Event], None]] = None
+        #: Observers called as ``hook(now, event)`` for every processed
+        #: event, in installation order (see :meth:`add_event_hook`).
+        self._event_hooks: List[Callable[[float, Event], None]] = []
+        #: The active span tracer, if observability is attached (set by
+        #: :class:`repro.obs.Observability`); instrumented components
+        #: check this for ``None`` and pay nothing when it is.
+        self.tracer: Optional["Tracer"] = None
         #: The process currently being resumed (used by Interrupt plumbing).
         self.active_process: Optional[Process] = None
 
@@ -128,20 +136,60 @@ class Simulator:
 
     # -- run loop ------------------------------------------------------------
 
+    def add_event_hook(self, hook: Callable[[float, Event], None]) -> None:
+        """Install an observer called as ``hook(now, event)`` for every
+        event the engine processes.
+
+        Hooks fire *before* the event's callbacks run, in installation
+        order, so two same-seed runs observe identical sequences -- which
+        is exactly what :mod:`repro.devtools.sanitizer` fingerprints.
+        Several hooks may coexist (the determinism hasher and the
+        :mod:`repro.obs` tracer are independent observers).  When no hook
+        is installed, :meth:`run` keeps its inlined hot loop and pays
+        nothing; with hooks the loop dispatches through :meth:`step`
+        instead.  Hooks must not mutate simulation state.
+        """
+        if hook in self._event_hooks:
+            raise ValueError(f"event hook already installed: {hook!r}")
+        self._event_hooks.append(hook)
+
+    def remove_event_hook(self, hook: Callable[[float, Event], None]) -> None:
+        """Uninstall a previously added event hook.
+
+        Unknown hooks are ignored (removal is idempotent), so teardown
+        paths may call this unconditionally.
+        """
+        try:
+            self._event_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    @property
+    def event_hooks(self) -> tuple[Callable[[float, Event], None], ...]:
+        """The installed event hooks, in dispatch order (read-only view)."""
+        return tuple(self._event_hooks)
+
     def set_event_hook(
         self, hook: Optional[Callable[[float, Event], None]]
     ) -> None:
-        """Install (or with ``None``, remove) an observer called as
-        ``hook(now, event)`` for every event the engine processes.
+        """Install *hook* as the only observer (``None`` removes all).
 
-        The hook fires *before* the event's callbacks run, in processing
-        order, so two same-seed runs observe identical sequences -- which
-        is exactly what :mod:`repro.devtools.sanitizer` fingerprints.
-        When no hook is installed, :meth:`run` keeps its inlined hot loop
-        and pays nothing; with a hook the loop dispatches through
-        :meth:`step` instead.  Hooks must not mutate simulation state.
+        .. deprecated::
+            This was the single-slot predecessor of
+            :meth:`add_event_hook`/:meth:`remove_event_hook`; it clears
+            every installed hook, so two observers cannot coexist through
+            it.  It will be removed one release after the multi-hook API
+            landed.
         """
-        self._event_hook = hook
+        warnings.warn(
+            "Simulator.set_event_hook is deprecated; use add_event_hook/"
+            "remove_event_hook so observers can coexist",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._event_hooks.clear()
+        if hook is not None:
+            self._event_hooks.append(hook)
 
     def step(self) -> None:
         """Process exactly one event.
@@ -156,8 +204,8 @@ class Simulator:
             raise EmptySchedule() from None
 
         self._events_processed += 1
-        if self._event_hook is not None:
-            self._event_hook(self._now, event)
+        for hook in self._event_hooks:
+            hook(self._now, event)
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:  # pragma: no cover - defensive; never rescheduled
             return
@@ -202,9 +250,9 @@ class Simulator:
         heappop = heapq.heappop
         heap = self._heap
         try:
-            if self._event_hook is not None:
-                # Observed run: dispatch through step() so the hook sees
-                # every event.  Only pays when a hook is installed.
+            if self._event_hooks:
+                # Observed run: dispatch through step() so every hook sees
+                # every event.  Only pays when hooks are installed.
                 while True:
                     self.step()
             # The step() body is inlined here: one Python-level call per

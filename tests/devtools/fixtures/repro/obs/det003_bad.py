@@ -1,0 +1,14 @@
+"""Known-bad fixture: obs code iterating instrument dicts unordered.
+
+The obs package feeds exporters and sampled series whose row order must
+be reproducible, so it is DET003-scoped like the model packages.
+"""
+
+
+def sample_all(gauges, now):
+    samples = []
+    for gauge in gauges.values():
+        samples.append((now, gauge()))
+    for name in {"hits", "depth"}:
+        samples.append((now, name))
+    return samples

@@ -1,0 +1,12 @@
+"""Known-bad fixture: an obs instrument class without ``__slots__``."""
+
+
+class LeakyCounter:
+    """Per-event instrument missing its ``__slots__`` declaration."""
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount=1.0):
+        self.value += amount

@@ -85,10 +85,29 @@ def test_hasher_detaches_cleanly():
     sim.run(until=2.5)
     mid = hasher.events_hashed
     assert mid > 0
-    EventStreamHasher.detach(sim)
+    hasher.detach(sim)
     sim.run()  # unobserved tail: hook removed, hot loop resumes
     assert hasher.events_hashed == mid
     assert hasher.hexdigest() == hasher.hexdigest()  # non-destructive
+
+
+def test_hasher_coexists_with_other_hooks():
+    # Multi-hook engine API: a hasher and a second observer both see
+    # every event, and detaching the hasher leaves the other installed.
+    sim = Simulator()
+    seen = []
+
+    def ticker():
+        for _ in range(5):
+            yield sim.timeout(1.0)
+
+    sim.process(ticker())
+    hasher = EventStreamHasher().attach(sim)
+    sim.add_event_hook(lambda now, event: seen.append(now))
+    sim.run()
+    assert hasher.events_hashed == len(seen) > 0
+    hasher.detach(sim)
+    assert len(sim.event_hooks) == 1
 
 
 def test_requires_at_least_two_runs():

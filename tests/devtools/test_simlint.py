@@ -63,6 +63,12 @@ class TestRuleFindings:
             ("DET003", 10),  # set literal
         ]
 
+    def test_det003_covers_the_obs_package(self):
+        assert findings_for(fixture("repro", "obs", "det003_bad.py")) == [
+            ("DET003", 10),  # .values()
+            ("DET003", 12),  # set literal
+        ]
+
     def test_det003_only_fires_in_ordered_packages(self):
         source = "def f(d):\n    for v in d.values():\n        print(v)\n"
         active, _ = lint_source("scratch/elsewhere.py", source)
@@ -82,6 +88,11 @@ class TestRuleFindings:
 
     def test_sim002_flags_missing_slots(self):
         assert findings_for(fixture("repro", "sim", "monitor.py")) == [
+            ("SIM002", 4),
+        ]
+
+    def test_sim002_covers_the_obs_instrument_modules(self):
+        assert findings_for(fixture("repro", "obs", "telemetry.py")) == [
             ("SIM002", 4),
         ]
 

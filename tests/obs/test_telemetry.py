@@ -1,0 +1,104 @@
+"""Unit tests for telemetry instruments (repro.obs.telemetry)."""
+
+import pickle
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, Series, TelemetryRegistry
+
+
+class TestSeries:
+    def test_append_and_last(self):
+        series = Series("queue_depth")
+        assert len(series) == 0
+        assert series.last() is None
+        series.append(0.0, 2.0)
+        series.append(1.0, 4.0)
+        assert len(series) == 2
+        assert series.last() == (1.0, 4.0)
+        assert series.mean() == 3.0
+
+    def test_mean_of_empty_is_zero(self):
+        assert Series("x").mean() == 0.0
+
+    def test_picklable(self):
+        series = Series("x")
+        series.append(0.5, 1.5)
+        clone = pickle.loads(pickle.dumps(series))
+        assert clone.name == "x"
+        assert list(clone.times) == [0.5]
+        assert list(clone.values) == [1.5]
+
+
+class TestCounter:
+    def test_monotonic(self):
+        counter = Counter("spinups")
+        counter.inc()
+        counter.inc(2.0)
+        assert counter.value == 3.0
+
+    def test_decrease_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("spinups").inc(-1.0)
+
+
+class TestHistogram:
+    def test_bucketing_and_stats(self):
+        hist = Histogram("latency", bounds=[0.1, 1.0, 10.0])
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.total == 5
+        assert hist.counts == [1, 2, 1, 1]  # last bucket = overflow
+        assert hist.mean() == pytest.approx(56.05 / 5)
+        assert hist.quantile(0.5) == 1.0
+        assert hist.quantile(1.0) == float("inf")
+
+    def test_empty_quantile_is_zero(self):
+        assert Histogram("x", bounds=[1.0]).quantile(0.5) == 0.0
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("x", bounds=[1.0]).quantile(1.5)
+
+    def test_needs_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("x", bounds=[])
+
+
+class TestRegistry:
+    def test_sample_appends_counters_and_gauges(self):
+        registry = TelemetryRegistry()
+        hits = registry.counter("hits")
+        depth = [3]
+        registry.gauge("depth", lambda: depth[0])
+        registry.sample(0.0)
+        hits.inc(5)
+        depth[0] = 7
+        registry.sample(1.0)
+        assert list(registry.series["hits"].values) == [0.0, 5.0]
+        assert list(registry.series["depth"].values) == [3.0, 7.0]
+        assert list(registry.series["depth"].times) == [0.0, 1.0]
+
+    def test_counter_is_get_or_create(self):
+        registry = TelemetryRegistry()
+        assert registry.counter("hits") is registry.counter("hits")
+
+    def test_name_collision_across_kinds_rejected(self):
+        registry = TelemetryRegistry()
+        registry.gauge("depth", lambda: 0.0)
+        with pytest.raises(ValueError):
+            registry.counter("depth")
+        with pytest.raises(ValueError):
+            registry.histogram("depth", bounds=[1.0])
+
+    def test_counter_totals_include_histogram_summaries(self):
+        registry = TelemetryRegistry()
+        registry.counter("hits").inc(4)
+        hist = registry.histogram("latency", bounds=[1.0, 2.0])
+        hist.observe(0.5)
+        hist.observe(1.5)
+        totals = registry.counter_totals()
+        assert totals["hits"] == 4.0
+        assert totals["latency.count"] == 2.0
+        assert totals["latency.mean"] == 1.0
+        assert totals["latency.p95"] == 2.0

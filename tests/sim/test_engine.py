@@ -276,6 +276,67 @@ def test_run_until_event_never_fired_does_not_stop_later_run():
     assert ticks == [2.0, 3.0, 4.0]
 
 
+def _tick(sim, n=3):
+    def ticker():
+        for _ in range(n):
+            yield sim.timeout(1.0)
+
+    sim.process(ticker())
+
+
+def test_multiple_event_hooks_all_fire():
+    sim = Simulator()
+    first, second = [], []
+    sim.add_event_hook(lambda now, event: first.append(now))
+    sim.add_event_hook(lambda now, event: second.append(now))
+    _tick(sim)
+    sim.run()
+    assert first == second
+    assert len(first) == sim.events_processed > 0
+
+
+def test_remove_event_hook_is_idempotent():
+    sim = Simulator()
+    hook = lambda now, event: None
+    sim.add_event_hook(hook)
+    sim.remove_event_hook(hook)
+    sim.remove_event_hook(hook)  # unknown hook: no error
+    assert sim.event_hooks == ()
+
+
+def test_duplicate_event_hook_rejected():
+    sim = Simulator()
+    hook = lambda now, event: None
+    sim.add_event_hook(hook)
+    with pytest.raises(ValueError):
+        sim.add_event_hook(hook)
+
+
+def test_event_hooks_fire_in_installation_order():
+    sim = Simulator()
+    order = []
+    sim.add_event_hook(lambda now, event: order.append("a"))
+    sim.add_event_hook(lambda now, event: order.append("b"))
+    _tick(sim, n=1)
+    sim.run()
+    assert order[:2] == ["a", "b"]
+
+
+def test_set_event_hook_is_deprecated_and_clears_others():
+    sim = Simulator()
+    sim.add_event_hook(lambda now, event: None)
+    only = []
+    with pytest.deprecated_call():
+        sim.set_event_hook(lambda now, event: only.append(now))
+    assert len(sim.event_hooks) == 1
+    _tick(sim, n=1)
+    sim.run()
+    assert only  # the replacement hook is the one that fires
+    with pytest.deprecated_call():
+        sim.set_event_hook(None)
+    assert sim.event_hooks == ()
+
+
 def test_run_until_time_reusable_after_clean_stop():
     sim = Simulator()
 
