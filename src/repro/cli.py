@@ -248,12 +248,77 @@ def _cmd_wear(args: argparse.Namespace) -> None:
         )
 
 
+def _cmd_metadata_drill(args: argparse.Namespace) -> None:
+    """Metadata-plane chaos drill: crash every shard leader once and
+    compare an unreplicated plane against a 3-replica one."""
+    from repro.experiments.metaplane import drill_fingerprint, run_metadata_drill
+    from repro.metrics.report import metaplane_table
+
+    results = run_metadata_drill(
+        n_requests=args.requests,
+        seed=args.seed,
+        shards=args.shards,
+        replica_counts=tuple(args.meta_replicas),
+    )
+    last = next(reversed(results.values()))
+    assert last.fault_log is not None
+    print(last.fault_log.render())
+    print()
+    print(
+        metaplane_table(
+            results,
+            title=(
+                f"Metadata-plane leader-crash drill "
+                f"({args.shards} shards, Berkeley trace)"
+            ),
+        )
+    )
+    if args.json:
+        from pathlib import Path
+
+        fingerprint = drill_fingerprint(results)
+        Path(args.json).write_text(fingerprint + "\n")
+        print(f"\nfingerprint written to {args.json}")
+
+
+def _cmd_metaplane(args: argparse.Namespace) -> None:
+    """Shard x replica availability sweep (the EXPERIMENTS.md table)."""
+    from repro.experiments.metaplane import metaplane_sweep, sweep_rows
+
+    grid = metaplane_sweep(
+        shard_counts=tuple(args.shards),
+        replica_counts=tuple(args.replicas),
+        n_requests=args.requests,
+        seed=args.seed,
+    )
+    print(
+        format_table(
+            [
+                "shards",
+                "replicas",
+                "elections",
+                "leaderless_s",
+                "retried",
+                "abandoned",
+                "availability",
+                "mean_response_s",
+            ],
+            sweep_rows(grid),
+            title="Metadata plane under one leader crash per shard",
+        )
+    )
+
+
 def _cmd_faults(args: argparse.Namespace) -> None:
     """Fault drill: one workload, one fault schedule, with and without
     replication -- what does riding out failures cost in energy?"""
     import numpy as np
 
     from repro.core import EEVFSConfig, run_eevfs
+
+    if args.metadata_drill:
+        _cmd_metadata_drill(args)
+        return
     from repro.core.config import default_cluster
     from repro.faults import FaultSchedule
     from repro.traces.synthetic import SyntheticWorkload, generate_synthetic_trace
@@ -505,7 +570,52 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["round_robin", "popularity"],
         help="replica placement policy",
     )
+    faults.add_argument(
+        "--metadata-drill",
+        action="store_true",
+        help="instead: metadata-plane chaos drill (leader crash per shard)",
+    )
+    faults.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="shard count for --metadata-drill (default 4)",
+    )
+    faults.add_argument(
+        "--meta-replicas",
+        type=int,
+        nargs="+",
+        default=[1, 3],
+        metavar="N",
+        help="replica counts to compare in --metadata-drill (default: 1 3)",
+    )
+    faults.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the drill's determinism fingerprint JSON to PATH",
+    )
     faults.set_defaults(func=_cmd_faults)
+    metaplane = sub.add_parser(
+        "metaplane", help="metadata-plane shard x replica availability sweep"
+    )
+    metaplane.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        metavar="N",
+        help="shard counts to sweep (default: 1 2 4)",
+    )
+    metaplane.add_argument(
+        "--replicas",
+        type=int,
+        nargs="+",
+        default=[1, 3],
+        metavar="N",
+        help="replica counts to sweep (default: 1 3)",
+    )
+    metaplane.set_defaults(func=_cmd_metaplane)
     bench = sub.add_parser(
         "bench", help="performance benchmark (writes BENCH_perf.json)"
     )

@@ -5,12 +5,25 @@ never waits for one response before sending the next, which is what lets
 queues build at the server/nodes under heavy load (the 50 MB / 700 ms
 saturation the paper observes in §VI-A).  Response time is measured from
 issue to full data delivery at the client.
+
+Failure handling (robustness extension): a :class:`RequestFailed` reply
+or a per-attempt timeout no longer ends the request.  The client re-sends
+it -- against whatever endpoint its router now suggests -- after a capped
+exponential backoff with seeded jitter, up to ``max_retries`` times.
+Only exhausted retries settle the request as a *failure* (recorded
+unavailability); nothing in the retry path ever raises.  Response time
+for a retried request runs from the ORIGINAL issue to final delivery, so
+retries show up as latency, exactly as a real client would experience.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
 
+import numpy as np
+
+from repro.core.config import EEVFSConfig
 from repro.core.protocol import (
     FileData,
     FileRequest,
@@ -22,7 +35,54 @@ from repro.net.fabric import Fabric
 from repro.sim.engine import Simulator
 from repro.sim.monitor import TallyStat
 from repro.sim.resources import Resource
-from repro.traces.model import Trace
+from repro.traces.model import RequestOp, Trace
+
+#: Rejection reason a non-leader metadata server sends; the only failure
+#: that is a *routing* problem (follow the hint / rotate) rather than a
+#: data-plane one (retry the same place and hope the fault healed).
+NOT_LEADER = "not leader"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with capped exponential backoff and seeded jitter.
+
+    ``max_retries`` counts *re*-sends: a request is attempted at most
+    ``1 + max_retries`` times.  ``timeout_s`` is the per-attempt response
+    deadline (None disables timeout watchers entirely -- no extra events
+    in fault-free runs).  The n-th retry waits
+    ``min(cap, base * 2**(n-1))`` scaled by a jitter factor drawn from
+    the client's dedicated RNG stream.
+    """
+
+    max_retries: int = 2
+    timeout_s: Optional[float] = None
+    backoff_base_s: float = 0.1
+    backoff_cap_s: float = 2.0
+    jitter: float = 0.1
+
+    @classmethod
+    def from_config(cls, config: EEVFSConfig) -> "RetryPolicy":
+        return cls(
+            max_retries=config.request_max_retries,
+            timeout_s=config.request_timeout_s,
+            backoff_base_s=config.request_backoff_base_s,
+            backoff_cap_s=config.request_backoff_cap_s,
+            jitter=config.request_retry_jitter,
+        )
+
+
+class StaticRouter:
+    """Route every request to the one storage server (the paper's layout)."""
+
+    def __init__(self, server_name: str) -> None:
+        self.server_name = server_name
+
+    def route(self, file_id: int) -> str:
+        return self.server_name
+
+    def note_failure(self, file_id: int, hint: Optional[str] = None) -> None:
+        """Nothing to learn: there is only one place to send requests."""
 
 
 class ClientDriver:
@@ -36,6 +96,9 @@ class ClientDriver:
         name: str = "client",
         server_name: str = "server",
         max_outstanding: int = 2,
+        retry: Optional[RetryPolicy] = None,
+        router: Optional[object] = None,
+        rng: Optional[np.random.Generator] = None,
     ) -> None:
         if max_outstanding < 1:
             raise ValueError(f"max_outstanding must be >= 1, got {max_outstanding!r}")
@@ -44,6 +107,12 @@ class ClientDriver:
         self.fabric = fabric
         self.name = name
         self.server_name = server_name
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: Where to send each request; pluggable so the metadata plane's
+        #: ShardRouter can replace the single-server default.
+        self.router = router if router is not None else StaticRouter(server_name)
+        #: Jitter source for retry backoff (None = deterministic backoff).
+        self.rng = rng
         self.endpoint = fabric.add_endpoint(name, nic_bps)
         self.response_times = TallyStat(name=f"{name}:response_s", keep_samples=True)
         #: Response-time decomposition over FileData replies: time on the
@@ -54,16 +123,32 @@ class ClientDriver:
             "node_other_s": TallyStat(name="node_other_s"),
             "network_server_s": TallyStat(name="network_server_s"),
         }
-        #: request_id -> issue time of requests awaiting a response.
+        #: request_id -> ORIGINAL issue time of requests awaiting settlement
+        #: (retries do not reset it: response time is end to end).
         self._pending: Dict[int, float] = {}
+        #: request_id -> (file_id, op), kept for re-sends.
+        self._requests: Dict[int, Tuple[int, RequestOp]] = {}
+        #: request_id -> attempts sent so far (1 = the initial send).
+        self._attempts: Dict[int, int] = {}
+        #: Requests with a backoff sleep in flight (suppresses duplicate
+        #: failure signals from racing timeout watchers / late replies).
+        self._retry_scheduled: Set[int] = set()
+        #: Requests already settled (success OR terminal failure); late
+        #: replies from superseded attempts land here and are dropped.
+        self._settled: Set[int] = set()
         #: request_id -> completion event (closed-loop replay only).
         self._waiters: Dict[int, object] = {}
         self._replay_finished = False
         self._drained = sim.event()
         #: (request_id, file_id, served_by, response_s) per completion.
         self.completions: list[tuple[int, int, str, float]] = []
-        #: (request_id, file_id, reason) per failed request.
+        #: (request_id, file_id, reason) per terminally failed request.
         self.failures: list[tuple[int, int, str]] = []
+        # -- retry-path counters (ride onto RunResult) ------------------------
+        self.requests_retried = 0
+        self.request_timeouts = 0
+        self.requests_abandoned = 0
+        self.duplicate_replies = 0
         self._dispatcher = sim.process(self._dispatch_loop())
 
     # -- public API --------------------------------------------------------------------
@@ -101,7 +186,7 @@ class ClientDriver:
 
     @property
     def outstanding(self) -> int:
-        """Requests issued but not yet answered."""
+        """Requests issued but not yet settled."""
         return len(self._pending)
 
     # -- internals -------------------------------------------------------------------------
@@ -111,18 +196,8 @@ class ClientDriver:
             target = epoch_s + request.time_s
             if target > self.sim.now:
                 yield self.sim.timeout(target - self.sim.now)
-            request_id = next_request_id()
-            self._pending[request_id] = self.sim.now
-            self._trace_issue(request_id, request.file_id, request.op.name)
-            payload = FileRequest(
-                request_id=request_id,
-                file_id=request.file_id,
-                op=request.op,
-                client=self.name,
-                issued_at=self.sim.now,
-            )
             # Open loop: fire and move on.
-            self.fabric.send(self.name, self.server_name, payload)
+            self._issue(next_request_id(), request.file_id, request.op)
         self._replay_finished = True
         if self._pending:
             yield self._drained
@@ -137,22 +212,9 @@ class ClientDriver:
             slot = slots.request()
             yield slot
             request_id = next_request_id()
-            issued = self.sim.now
-            self._pending[request_id] = issued
-            self._trace_issue(request_id, request.file_id, request.op.name)
             done = self.sim.event()
             self._waiters[request_id] = done
-            self.fabric.send(
-                self.name,
-                self.server_name,
-                FileRequest(
-                    request_id=request_id,
-                    file_id=request.file_id,
-                    op=request.op,
-                    client=self.name,
-                    issued_at=issued,
-                ),
-            )
+            self._issue(request_id, request.file_id, request.op)
             self.sim.process(self._release_on(done, slots, slot))
         self._replay_finished = True
         if self._pending:
@@ -175,25 +237,111 @@ class ClientDriver:
                     yield self.sim.timeout(gap)
             previous_t = request.time_s
             request_id = next_request_id()
-            issued = self.sim.now
-            self._pending[request_id] = issued
-            self._trace_issue(request_id, request.file_id, request.op.name)
             done = self.sim.event()
             self._waiters[request_id] = done
-            self.fabric.send(
-                self.name,
-                self.server_name,
-                FileRequest(
-                    request_id=request_id,
-                    file_id=request.file_id,
-                    op=request.op,
-                    client=self.name,
-                    issued_at=issued,
-                ),
-            )
+            self._issue(request_id, request.file_id, request.op)
             yield done
         self._replay_finished = True
         return self.response_times
+
+    # -- issue / retry machinery --------------------------------------------------------
+
+    def _issue(self, request_id: int, file_id: int, op: RequestOp) -> None:
+        """First send of a request: record it, route it, arm its watcher."""
+        self._pending[request_id] = self.sim.now
+        self._requests[request_id] = (file_id, op)
+        self._attempts[request_id] = 1
+        self._trace_issue(request_id, file_id, op.name)
+        self._send_attempt(request_id)
+
+    def _send_attempt(self, request_id: int) -> None:
+        file_id, op = self._requests[request_id]
+        self.fabric.send(
+            self.name,
+            self.router.route(file_id),
+            FileRequest(
+                request_id=request_id,
+                file_id=file_id,
+                op=op,
+                client=self.name,
+                issued_at=self.sim.now,
+            ),
+        )
+        if self.retry.timeout_s is not None:
+            self.sim.process(self._watch(request_id, self._attempts[request_id]))
+
+    def _watch(self, request_id: int, attempt: int):
+        """Per-attempt deadline: a silent loss (crashed or partitioned
+        server eating the message) becomes a retryable failure."""
+        yield self.sim.timeout(self.retry.timeout_s)
+        if request_id in self._settled:
+            return
+        if self._attempts.get(request_id) != attempt:
+            return  # a newer attempt superseded the one we watched
+        if request_id in self._retry_scheduled:
+            return  # a reply-borne failure already triggered the retry
+        self.request_timeouts += 1
+        # No reply at all: whoever we sent to may be gone -- rotate.
+        self.router.note_failure(self._requests[request_id][0], None)
+        self._failure_signal(request_id, "timeout")
+
+    def _failure_signal(self, request_id: int, reason: str) -> None:
+        """A failed attempt: schedule a retry or settle as unavailability."""
+        if request_id in self._settled or request_id in self._retry_scheduled:
+            return
+        attempts = self._attempts[request_id]
+        if attempts <= self.retry.max_retries:
+            self.requests_retried += 1
+            self._retry_scheduled.add(request_id)
+            self.sim.process(
+                self._retry_after(request_id, self._backoff_delay(attempts))
+            )
+        else:
+            self.requests_abandoned += 1
+            self._settle_failure(
+                request_id, f"{reason} (abandoned after {attempts} attempts)"
+            )
+
+    def _backoff_delay(self, attempts: int) -> float:
+        delay = min(
+            self.retry.backoff_cap_s,
+            self.retry.backoff_base_s * 2 ** (attempts - 1),
+        )
+        if self.rng is not None and self.retry.jitter > 0 and delay > 0:
+            # Drawn only on actual retries: fault-free runs consume
+            # nothing from the stream.
+            delay *= 1.0 + self.retry.jitter * (2.0 * float(self.rng.random()) - 1.0)
+        return delay
+
+    def _retry_after(self, request_id: int, delay: float):
+        yield self.sim.timeout(delay)
+        self._retry_scheduled.discard(request_id)
+        if request_id in self._settled:
+            return  # a slow earlier attempt answered during the backoff
+        self._attempts[request_id] += 1
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                "client.retry",
+                self.name,
+                parent=tracer.request_span(request_id),
+                attempt=self._attempts[request_id],
+            )
+        self._send_attempt(request_id)
+
+    def _settle_failure(self, request_id: int, reason: str) -> None:
+        self._settled.add(request_id)
+        self._pending.pop(request_id, None)
+        file_id = self._requests[request_id][0]
+        self.failures.append((request_id, file_id, reason))
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.end_request(request_id, ok=False, reason=reason)
+        waiter = self._waiters.pop(request_id, None)
+        if waiter is not None:
+            waiter.succeed()
+        if self._replay_finished and not self._pending:
+            self._drained.succeed()
 
     def _trace_issue(self, request_id: int, file_id: int, op: str) -> None:
         """Open the root ``request`` span when observability is attached."""
@@ -201,14 +349,22 @@ class ClientDriver:
         if tracer is not None:
             tracer.begin_request(request_id, self.name, file_id=file_id, op=op)
 
+    # -- the response plane ----------------------------------------------------------------
+
     def _dispatch_loop(self):
         while True:
             message = yield self.endpoint.receive()
             payload = message.payload
             if isinstance(payload, (FileData, WriteAck)):
+                if payload.request_id in self._settled:
+                    # A superseded attempt answering after the request
+                    # already settled (e.g. a timed-out server came back).
+                    self.duplicate_replies += 1
+                    continue
                 issued = self._pending.pop(payload.request_id, None)
                 if issued is None:  # pragma: no cover - defensive
                     raise KeyError(f"response for unknown request {payload!r}")
+                self._settled.add(payload.request_id)
                 elapsed = self.sim.now - issued
                 self.response_times.record(elapsed)
                 if isinstance(payload, FileData):
@@ -233,19 +389,15 @@ class ClientDriver:
                 if self._replay_finished and not self._pending:
                     self._drained.succeed()
             elif isinstance(payload, RequestFailed):
-                self._pending.pop(payload.request_id, None)
-                self.failures.append(
-                    (payload.request_id, payload.file_id, payload.reason)
-                )
-                tracer = self.sim.tracer
-                if tracer is not None:
-                    tracer.end_request(
-                        payload.request_id, ok=False, reason=payload.reason
-                    )
-                waiter = self._waiters.pop(payload.request_id, None)
-                if waiter is not None:
-                    waiter.succeed()
-                if self._replay_finished and not self._pending:
-                    self._drained.succeed()
+                if (
+                    payload.request_id in self._settled
+                    or payload.request_id not in self._pending
+                ):
+                    self.duplicate_replies += 1
+                    continue
+                if payload.reason == NOT_LEADER:
+                    # Routing problem: learn where leadership went.
+                    self.router.note_failure(payload.file_id, payload.hint)
+                self._failure_signal(payload.request_id, payload.reason)
             else:  # pragma: no cover - defensive
                 raise TypeError(f"client cannot handle {payload!r}")

@@ -232,6 +232,35 @@ class EEVFSConfig:
     #: Repairs dispatched per check interval -- throttles recovery I/O so
     #: it trickles instead of waking every sleeping disk at once.
     rereplication_batch: int = 4
+    #: Metadata-plane extension (repro.metaplane): route the request path
+    #: through a sharded, replicated, leader-elected metadata service
+    #: instead of the single storage server.  The storage server still
+    #: performs setup (placement, prefetch, hints); the plane takes over
+    #: steps 5-6 lookups once replay begins.
+    metadata_plane: bool = False
+    #: Number of metadata shards (consistent hashing over file ids).
+    metadata_shards: int = 1
+    #: Replicas per shard (1 = no fault tolerance, the crash baseline).
+    metadata_replicas: int = 1
+    #: Leader heartbeat period of the shard consensus protocol.
+    meta_heartbeat_interval_s: float = 0.5
+    #: Election timeout range (drawn per replica from its seeded stream);
+    #: the minimum must comfortably exceed the heartbeat interval or
+    #: healthy followers will depose live leaders.
+    meta_election_timeout_min_s: float = 1.5
+    meta_election_timeout_max_s: float = 3.0
+    #: Client retry policy: how many times a failed request is re-sent
+    #: before it is abandoned (recorded as unavailability, never raised).
+    request_max_retries: int = 2
+    #: Per-attempt response deadline; None disables timeout watchers (the
+    #: default keeps fault-free runs event-identical to older seeds --
+    #: crash drills that can silently eat requests must set a deadline).
+    request_timeout_s: Optional[float] = None
+    #: Capped exponential backoff between retries, with seeded jitter
+    #: (fraction of the delay, drawn from the client's retry stream).
+    request_backoff_base_s: float = 0.1
+    request_backoff_cap_s: float = 2.0
+    request_retry_jitter: float = 0.1
     #: Include the storage server's energy in reports (the paper measures
     #: the storage nodes only).
     account_server_energy: bool = False
@@ -294,6 +323,39 @@ class EEVFSConfig:
             raise ValueError("rereplication_batch must be >= 1")
         if self.popularity_window_s is not None and self.popularity_window_s <= 0:
             raise ValueError("popularity_window_s must be > 0")
+        if self.metadata_shards < 1:
+            raise ValueError(
+                f"metadata_shards must be >= 1, got {self.metadata_shards!r}"
+            )
+        if self.metadata_replicas < 1:
+            raise ValueError(
+                f"metadata_replicas must be >= 1, got {self.metadata_replicas!r}"
+            )
+        if self.meta_heartbeat_interval_s <= 0:
+            raise ValueError("meta_heartbeat_interval_s must be > 0")
+        if self.meta_election_timeout_min_s <= self.meta_heartbeat_interval_s:
+            raise ValueError(
+                "meta_election_timeout_min_s must exceed the heartbeat "
+                "interval or healthy followers depose live leaders"
+            )
+        if self.meta_election_timeout_max_s <= self.meta_election_timeout_min_s:
+            raise ValueError(
+                "meta_election_timeout_max_s must exceed "
+                "meta_election_timeout_min_s"
+            )
+        if self.metadata_plane and self.reprefetch_interval_s is not None:
+            raise ValueError(
+                "metadata_plane routes requests around the storage server, "
+                "whose online log feeds re-prefetching; disable one of them"
+            )
+        if self.request_max_retries < 0:
+            raise ValueError("request_max_retries must be >= 0")
+        if self.request_timeout_s is not None and self.request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be > 0")
+        if self.request_backoff_base_s < 0 or self.request_backoff_cap_s < 0:
+            raise ValueError("retry backoff parameters must be >= 0")
+        if not 0.0 <= self.request_retry_jitter < 1.0:
+            raise ValueError("request_retry_jitter must be in [0, 1)")
         if self.obs_sample_interval_s <= 0:
             raise ValueError("obs_sample_interval_s must be > 0")
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.client import ClientDriver
+from repro.core.client import ClientDriver, RetryPolicy
 from repro.core.config import ClusterSpec, default_cluster, EEVFSConfig
 from repro.core.node import StorageNode
 from repro.core.server import StorageServer
@@ -23,6 +23,7 @@ from repro.disk.states import DiskState
 from repro.faults.injector import FaultInjector
 from repro.faults.log import FaultLog
 from repro.faults.schedule import FaultSchedule
+from repro.metaplane.plane import MetaPlane, MetaPlaneStats
 from repro.net.fabric import Fabric
 from repro.obs.runtime import Observability, maybe_snapshot
 from repro.obs.tracer import RunTrace
@@ -120,6 +121,18 @@ class RunResult:
     fault_events: int = 0
     #: The injector's event log (None when no schedule was given).
     fault_log: Optional[FaultLog] = None
+    # -- request-retry path (robustness extension) --------------------------------
+    #: Attempts re-sent after a failure reply or a per-attempt timeout.
+    requests_retried: int = 0
+    #: Per-attempt deadlines that expired without any reply.
+    request_timeouts: int = 0
+    #: Requests that exhausted their retry budget (counted in
+    #: ``requests_failed``; never raised as an exception).
+    requests_abandoned: int = 0
+    #: Replies for already-settled requests (superseded slow attempts).
+    duplicate_replies: int = 0
+    #: Metadata-plane availability metrics (None when the plane is off).
+    metaplane: Optional[MetaPlaneStats] = None
     #: Observability snapshot (spans + telemetry series); None unless the
     #: run was executed with ``obs`` enabled.  Plain data -- safe to
     #: pickle across the repro.parallel process boundary.
@@ -215,12 +228,31 @@ class EEVFSCluster:
             )
             for node_spec in self.cluster.storage_nodes
         ]
+        #: Sharded, consensus-backed metadata plane (repro.metaplane):
+        #: takes over the client request path when configured.  The
+        #: storage server still performs setup; its metadata snapshot
+        #: seeds the shards at the start of :meth:`run`.
+        self.metaplane: Optional[MetaPlane] = None
+        if self.config.metadata_plane:
+            self.metaplane = MetaPlane(
+                self.sim,
+                self.fabric,
+                config=self.config,
+                streams=self.streams,
+                nic_bps=self.cluster.server_nic_bps,
+            )
+            self.server.metaplane = self.metaplane
         self.client = ClientDriver(
             self.sim,
             self.fabric,
             nic_bps=self.cluster.client_nic_bps,
             server_name=self.server.name,
             max_outstanding=self.cluster.client_max_outstanding,
+            retry=RetryPolicy.from_config(self.config),
+            router=(
+                None if self.metaplane is None else self.metaplane.router()
+            ),
+            rng=self.streams.stream("client:retry"),
         )
         #: Fault injection (repro.faults); started by :meth:`run` at the
         #: trace epoch so schedule times are workload-relative.
@@ -305,6 +337,11 @@ class EEVFSCluster:
         epoch = self.sim.now
         if setup_span is not None and tracer is not None:
             tracer.end(setup_span)
+        if self.metaplane is not None:
+            # Seed every shard replica from the setup-time metadata, then
+            # open the availability measurement window at the epoch.
+            self.metaplane.bootstrap(self.server.metadata)
+            self.metaplane.reset_measurement(epoch)
         if self.injector is not None:
             self.injector.start(epoch)
 
@@ -328,6 +365,8 @@ class EEVFSCluster:
             tracer.end(replay_span)
         if end - epoch > timeout_s:  # pragma: no cover - guard rail
             raise RuntimeError(f"run exceeded timeout ({end - epoch:.0f}s simulated)")
+        if self.metaplane is not None:
+            self.metaplane.finalize(end)
 
         for node in self.nodes:
             node.finalize()
@@ -399,8 +438,22 @@ class EEVFSCluster:
             requests_failed=len(self.client.failures),
             latency_components=self.client.latency_components,
             requests_failed_over=sum(n.requests_failed_over for n in self.nodes),
-            requests_unroutable=self.server.requests_unroutable,
-            writes_fanned_out=self.server.writes_fanned_out,
+            requests_unroutable=(
+                self.server.requests_unroutable
+                + (
+                    self.metaplane.requests_unroutable
+                    if self.metaplane is not None
+                    else 0
+                )
+            ),
+            writes_fanned_out=(
+                self.server.writes_fanned_out
+                + (
+                    self.metaplane.writes_fanned_out
+                    if self.metaplane is not None
+                    else 0
+                )
+            ),
             repairs_completed=(
                 self.server.repairer.repairs_completed if self.server.repairer else 0
             ),
@@ -418,6 +471,13 @@ class EEVFSCluster:
             ),
             fault_events=len(self.injector.log) if self.injector else 0,
             fault_log=self.injector.log if self.injector else None,
+            requests_retried=self.client.requests_retried,
+            request_timeouts=self.client.request_timeouts,
+            requests_abandoned=self.client.requests_abandoned,
+            duplicate_replies=self.client.duplicate_replies,
+            metaplane=(
+                self.metaplane.snapshot() if self.metaplane is not None else None
+            ),
             trace=maybe_snapshot(self.observer),
         )
 

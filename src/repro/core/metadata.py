@@ -12,7 +12,7 @@ The burden is split exactly as the paper prescribes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 
 @dataclass(frozen=True)
@@ -127,6 +127,22 @@ class ServerMetadata:
             for file_id in self._files
             if len(self.live_holders(file_id)) < factor
         )
+
+    def snapshot(self) -> List[Tuple[int, str, int, Tuple[str, ...]]]:
+        """Deterministic dump: ``(file_id, node, size, replicas)`` by id.
+
+        Used to seed the sharded metadata plane from setup output; sorted
+        so the copy order never depends on registration history.
+        """
+        return [
+            (
+                entry.file_id,
+                entry.node,
+                entry.size_bytes,
+                tuple(self._replicas.get(entry.file_id, ())),
+            )
+            for entry in sorted(self._files.values(), key=lambda e: e.file_id)
+        ]
 
     # -- node liveness --------------------------------------------------------------
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 import itertools
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.traces.model import RequestOp
 
@@ -125,11 +125,17 @@ class FileData:
 
 @dataclass(frozen=True)
 class RequestFailed:
-    """Node -> client: the request could not be served (disk failure)."""
+    """Node/server -> client: the request could not be served.
+
+    ``hint`` optionally names the endpoint the client should retry
+    against (a non-leader metadata server pointing at the leader it last
+    heard from); None means the sender has no better idea.
+    """
 
     request_id: int
     file_id: int
     reason: str
+    hint: Optional[str] = None
 
 
 @dataclass(frozen=True)

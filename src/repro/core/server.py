@@ -95,6 +95,11 @@ class StorageServer:
         #: Background repair loop; created at the end of setup when
         #: replication_factor > 1 and re-replication is enabled.
         self.repairer: Optional[ReplicationManager] = None
+        #: Set by the cluster facade when the sharded metadata plane
+        #: (repro.metaplane) takes over the request path; repair
+        #: completions then propose placement updates to it so the
+        #: shards' replicated state machines track re-replication.
+        self.metaplane = None
         #: Live request log (§IV: "an append-only log of requests to keep
         #: track of file access patterns") -- feeds dynamic re-prefetching.
         self.online_log = AccessLog()

@@ -64,6 +64,7 @@ class LintConfig:
         "repro/replication",
         "repro/net",
         "repro/obs",
+        "repro/metaplane",
     )
     #: Modules whose objects cross the process-pool pickle boundary
     #: (PAR001): the specs themselves plus everything their fields hold.

@@ -6,11 +6,18 @@
 * :mod:`repro.experiments.figures`   -- regenerate Figs. 3-6,
 * :mod:`repro.experiments.tables`    -- regenerate Tables I and II,
 * :mod:`repro.experiments.ablations` -- ablations beyond the paper
-  (idle threshold, hints, disks per node, predictors, replay modes).
+  (idle threshold, hints, disks per node, predictors, replay modes),
+* :mod:`repro.experiments.metaplane` -- metadata-plane chaos drills and
+  the shard x replica availability sweep.
 """
 
 from repro.experiments.crossover import find_min_effective_k
 from repro.experiments.figures import figure3, figure4, figure5, figure6
+from repro.experiments.metaplane import (
+    drill_fingerprint,
+    metaplane_sweep,
+    run_metadata_drill,
+)
 from repro.experiments.paper import generate_report
 from repro.experiments.repetition import repeat_pair
 from repro.experiments.runner import PairResult, run_pair
@@ -25,12 +32,15 @@ __all__ = [
     "figure3",
     "figure4",
     "figure5",
+    "drill_fingerprint",
     "figure6",
     "find_min_effective_k",
     "generate_report",
+    "metaplane_sweep",
     "power_model_sensitivity",
     "repeat_pair",
     "run_all_sweeps",
+    "run_metadata_drill",
     "run_pair",
     "run_sweep",
     "table1",

@@ -1,0 +1,202 @@
+"""Metadata-plane chaos drills and shard/replica availability sweeps.
+
+The paper's evaluation assumes the metadata server never fails; the
+``repro.metaplane`` extension asks what it costs to drop that
+assumption.  This module packages the two studies:
+
+* :func:`run_metadata_drill` -- the headline chaos experiment: replay
+  the Berkeley-web-like trace while :meth:`~repro.faults.schedule.
+  FaultSchedule.meta_leader_fail` kills every shard's leader once,
+  comparing an unreplicated plane (each crash takes its shard down until
+  the repair) against a 3-replica group (the survivors elect around the
+  crash).  The claim under test: with replication, zero requests are
+  abandoned; without it, the run records nonzero leaderless time.
+* :func:`metaplane_sweep` -- the same drill across a shard-count x
+  replica-count grid, feeding the EXPERIMENTS.md table.
+
+Both are deterministic for a seed: :func:`drill_fingerprint` canonicalises
+a drill's outcome (aggregates, per-shard stats, the fault log -- never
+request ids, which depend on process-global counters) into a JSON string
+that must be byte-identical across repeated same-seed runs.  CI's
+chaos-smoke job asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import EEVFSConfig
+from repro.core.filesystem import run_eevfs, RunResult
+from repro.faults.schedule import FaultSchedule
+from repro.traces.berkeley import BerkeleyWebWorkload, generate_berkeley_like_trace
+from repro.traces.model import Trace
+
+#: Retry posture for chaos drills: patient enough that a client can ride
+#: out a leader election (timeout 10 s, six retries backing off 0.5 s ->
+#: 4 s) instead of abandoning mid-failover.
+DRILL_TIMEOUT_S = 10.0
+DRILL_MAX_RETRIES = 6
+DRILL_BACKOFF_BASE_S = 0.5
+DRILL_BACKOFF_CAP_S = 4.0
+
+
+def drill_config(replicas: int, shards: int = 4) -> EEVFSConfig:
+    """The drill's cluster config: a sharded plane plus patient retries."""
+    return EEVFSConfig(
+        metadata_plane=True,
+        metadata_shards=shards,
+        metadata_replicas=replicas,
+        request_timeout_s=DRILL_TIMEOUT_S,
+        request_max_retries=DRILL_MAX_RETRIES,
+        request_backoff_base_s=DRILL_BACKOFF_BASE_S,
+        request_backoff_cap_s=DRILL_BACKOFF_CAP_S,
+    )
+
+
+def leader_crash_schedule(
+    n_shards: int,
+    first_at: float = 20.0,
+    spacing: float = 40.0,
+    repair_after: float = 20.0,
+) -> FaultSchedule:
+    """Crash each shard's current leader once, staggered, then repair it.
+
+    Crashes land at ``first_at + shard * spacing`` so elections never
+    overlap across shards; each crashed replica is repaired
+    ``repair_after`` seconds later (by shard name -- the victim is only
+    known at injection time).
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards!r}")
+    schedule = FaultSchedule()
+    for shard in range(n_shards):
+        at = first_at + shard * spacing
+        schedule.meta_leader_fail(shard, at=at)
+        schedule.meta_repair(f"shard{shard}", at=at + repair_after)
+    return schedule
+
+
+def drill_trace(n_requests: int = 1000, trace_seed: int = 1) -> Trace:
+    """The drill workload: the Berkeley-web-like trace (Fig. 6 setup)."""
+    return generate_berkeley_like_trace(
+        BerkeleyWebWorkload(n_requests=n_requests),
+        rng=np.random.default_rng(trace_seed),
+    )
+
+
+def run_metadata_drill(
+    n_requests: int = 1000,
+    seed: int = 0,
+    shards: int = 4,
+    replica_counts: Sequence[int] = (1, 3),
+    trace: Optional[Trace] = None,
+) -> Dict[str, RunResult]:
+    """Run the leader-crash drill once per replica count.
+
+    Every run replays the same trace against the same fault schedule;
+    only ``metadata_replicas`` varies.  Keys are ``"1-replica"``,
+    ``"3-replica"``, ...
+    """
+    workload = trace if trace is not None else drill_trace(n_requests=n_requests)
+    results: Dict[str, RunResult] = {}
+    for replicas in replica_counts:
+        results[f"{replicas}-replica"] = run_eevfs(
+            workload,
+            drill_config(replicas, shards=shards),
+            seed=seed,
+            faults=leader_crash_schedule(shards),
+        )
+    return results
+
+
+def drill_fingerprint(results: Dict[str, RunResult]) -> str:
+    """Canonical JSON of everything a drill determines, for byte-diffing.
+
+    Includes aggregates, per-shard plane stats, and the fault log
+    (times, kinds, targets, resolved victims).  Excludes request ids --
+    they come from a process-global counter and differ between runs in
+    one process -- and wall-clock anything.
+    """
+    payload = {}
+    for name, result in sorted(results.items()):
+        plane = result.metaplane
+        entry = {
+            "requests_total": result.requests_total,
+            "requests_failed": result.requests_failed,
+            "requests_retried": result.requests_retried,
+            "request_timeouts": result.request_timeouts,
+            "requests_abandoned": result.requests_abandoned,
+            "requests_unroutable": result.requests_unroutable,
+            "duplicate_replies": result.duplicate_replies,
+            "availability": result.availability,
+            "mean_response_s": result.mean_response_s,
+            "energy_j": result.energy_j,
+            "fault_log": [
+                [record.time_s, record.kind, record.target, record.detail]
+                for record in (result.fault_log or ())
+            ],
+        }
+        if plane is not None:
+            entry["metaplane"] = {
+                "n_shards": plane.n_shards,
+                "n_replicas": plane.n_replicas,
+                "elections": plane.elections,
+                "leaderless_s": plane.leaderless_s,
+                "max_leaderless_s": plane.max_leaderless_s,
+                "requests_routed": plane.requests_routed,
+                "not_leader_rejections": plane.not_leader_rejections,
+                "requests_unroutable": plane.requests_unroutable,
+                "proposals_committed": plane.proposals_committed,
+                "shards": [
+                    [s.shard, s.elections, s.leaderless_s, s.term, s.requests_routed]
+                    for s in plane.shards
+                ],
+            }
+        payload[name] = entry
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def metaplane_sweep(
+    shard_counts: Sequence[int] = (1, 2, 4),
+    replica_counts: Sequence[int] = (1, 3),
+    n_requests: int = 1000,
+    seed: int = 0,
+) -> Dict[Tuple[int, int], RunResult]:
+    """The drill across a shards x replicas grid, one leader crash per
+    shard in every cell.  Returns results keyed by ``(shards, replicas)``."""
+    trace = drill_trace(n_requests=n_requests)
+    grid: Dict[Tuple[int, int], RunResult] = {}
+    for shards in shard_counts:
+        schedule = leader_crash_schedule(shards)
+        for replicas in replica_counts:
+            grid[(shards, replicas)] = run_eevfs(
+                trace,
+                drill_config(replicas, shards=shards),
+                seed=seed,
+                faults=schedule,
+            )
+    return grid
+
+
+def sweep_rows(grid: Dict[Tuple[int, int], RunResult]) -> list:
+    """Flatten a sweep grid into report rows (EXPERIMENTS.md table)."""
+    rows = []
+    for (shards, replicas), result in sorted(grid.items()):
+        plane = result.metaplane
+        assert plane is not None  # every sweep cell runs with a plane
+        rows.append(
+            [
+                shards,
+                replicas,
+                plane.elections,
+                plane.leaderless_s,
+                result.requests_retried,
+                result.requests_abandoned,
+                result.availability,
+                result.mean_response_s,
+            ]
+        )
+    return rows

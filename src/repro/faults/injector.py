@@ -26,8 +26,13 @@ from repro.faults.schedule import (
     DISK_SLOW,
     FaultAction,
     FaultSchedule,
+    HEAL,
+    META_FAIL,
+    META_LEADER_FAIL,
+    META_REPAIR,
     NODE_FAIL,
     NODE_REPAIR,
+    PARTITION,
     SPINUP_FLAKY,
 )
 from repro.sim.engine import Simulator
@@ -38,6 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.filesystem import EEVFSCluster
     from repro.core.node import StorageNode
     from repro.disk.drive import SimDisk
+    from repro.metaplane.plane import MetaPlane
 
 
 class FaultInjector:
@@ -85,10 +91,47 @@ class FaultInjector:
         except KeyError:
             raise KeyError(f"unknown disk: {action.target!r}") from None
 
+    def _plane(self, action: FaultAction) -> "MetaPlane":
+        plane = self.cluster.metaplane
+        if plane is None:
+            raise ValueError(
+                f"fault {action.kind!r} targets the metadata plane, but the "
+                f"cluster runs without one (config.metadata_plane is off)"
+            )
+        return plane
+
+    @staticmethod
+    def _shard_index(target: str) -> Optional[int]:
+        """Parse a ``"shard<k>"`` target; None if it names a replica."""
+        if target.startswith("shard"):
+            try:
+                return int(target[len("shard") :])
+            except ValueError:
+                raise ValueError(f"malformed shard target: {target!r}") from None
+        return None
+
     def _resolve(self, action: FaultAction) -> object:
         """Target object for an action; raises KeyError on unknown names."""
         if action.kind in (NODE_FAIL, NODE_REPAIR):
             return self._node(action)
+        if action.kind in (PARTITION, HEAL):
+            return self.cluster.fabric.endpoint(action.target)
+        if action.kind == META_FAIL:
+            return self._plane(action).server(action.target)
+        if action.kind == META_LEADER_FAIL:
+            plane = self._plane(action)
+            shard = self._shard_index(action.target)
+            if shard is None or not 0 <= shard < plane.n_shards:
+                raise KeyError(f"unknown shard: {action.target!r}")
+            return plane  # the victim replica is resolved at apply time
+        if action.kind == META_REPAIR:
+            plane = self._plane(action)
+            shard = self._shard_index(action.target)
+            if shard is None:
+                return plane.server(action.target)
+            if not 0 <= shard < plane.n_shards:
+                raise KeyError(f"unknown shard: {action.target!r}")
+            return plane
         return self._disk(action)
 
     def _run(self, epoch_s: float) -> Generator[Event, Any, None]:
@@ -131,6 +174,8 @@ class FaultInjector:
             node = self._node(action)
             node.crash()
             self.cluster.server.metadata.mark_node_down(action.target)
+            if self.cluster.metaplane is not None:
+                self.cluster.metaplane.mark_node_down(action.target)
             self.log.record(
                 t,
                 NODE_FAIL,
@@ -140,6 +185,42 @@ class FaultInjector:
         elif action.kind == NODE_REPAIR:
             self._node(action).repair_node()
             self.cluster.server.metadata.mark_node_up(action.target)
+            if self.cluster.metaplane is not None:
+                self.cluster.metaplane.mark_node_up(action.target)
             self.log.record(t, NODE_REPAIR, action.target)
+        elif action.kind == META_FAIL:
+            self._plane(action).crash_server(action.target)
+            self.log.record(t, META_FAIL, action.target)
+        elif action.kind == META_LEADER_FAIL:
+            plane = self._plane(action)
+            shard = self._shard_index(action.target)
+            assert shard is not None  # _resolve validated the target
+            victim = plane.crash_leader(shard)
+            self.log.record(
+                t,
+                META_LEADER_FAIL,
+                action.target,
+                detail=victim if victim is not None else "already leaderless",
+            )
+        elif action.kind == META_REPAIR:
+            plane = self._plane(action)
+            shard = self._shard_index(action.target)
+            if shard is None:
+                plane.repair_server(action.target)
+                self.log.record(t, META_REPAIR, action.target)
+            else:
+                repaired = plane.repair_shard(shard)
+                self.log.record(
+                    t,
+                    META_REPAIR,
+                    action.target,
+                    detail=",".join(repaired) if repaired else "nothing crashed",
+                )
+        elif action.kind == PARTITION:
+            self.cluster.fabric.set_partitioned(action.target, True)
+            self.log.record(t, PARTITION, action.target)
+        elif action.kind == HEAL:
+            self.cluster.fabric.set_partitioned(action.target, False)
+            self.log.record(t, HEAL, action.target)
         else:  # pragma: no cover - schedule validates kinds
             raise ValueError(f"unknown fault kind: {action.kind!r}")

@@ -33,6 +33,11 @@ NODE_REPAIR = "node_repair"
 DISK_SLOW = "disk_slow"
 DISK_RESTORE = "disk_restore"
 SPINUP_FLAKY = "spinup_flaky"
+META_FAIL = "meta_fail"
+META_REPAIR = "meta_repair"
+META_LEADER_FAIL = "meta_leader_fail"
+PARTITION = "partition"
+HEAL = "heal"
 
 _KINDS = frozenset(
     {
@@ -43,6 +48,11 @@ _KINDS = frozenset(
         DISK_SLOW,
         DISK_RESTORE,
         SPINUP_FLAKY,
+        META_FAIL,
+        META_REPAIR,
+        META_LEADER_FAIL,
+        PARTITION,
+        HEAL,
     }
 )
 
@@ -174,6 +184,52 @@ class FaultSchedule:
                 value2=backoff_s,
             )
         )
+
+    # -- metadata-plane builders (repro.metaplane) ------------------------------
+
+    def meta_fail(self, server: str, at: float) -> "FaultSchedule":
+        """Crash metadata-server replica *server* (``"meta-s0-r1"``)."""
+        return self.add(FaultAction(time_s=at, kind=META_FAIL, target=server))
+
+    def meta_repair(self, target: str, at: float) -> "FaultSchedule":
+        """Repair a crashed metadata replica at *at*.
+
+        *target* is either one replica (``"meta-s0-r1"``) or a whole
+        shard (``"shard0"``), which repairs every crashed replica in the
+        group -- the natural partner of :meth:`meta_leader_fail`, whose
+        victim is not known until injection time.
+        """
+        return self.add(FaultAction(time_s=at, kind=META_REPAIR, target=target))
+
+    def meta_leader_fail(self, shard: int, at: float) -> "FaultSchedule":
+        """Crash whichever replica leads shard *shard* at time *at*.
+
+        The victim is resolved at injection time (elections move
+        leadership around), which is what makes this the chaos-drill
+        primitive: it always hits the replica currently doing the work.
+        """
+        if shard < 0:
+            raise ValueError(f"shard must be >= 0, got {shard!r}")
+        return self.add(
+            FaultAction(time_s=at, kind=META_LEADER_FAIL, target=f"shard{shard}")
+        )
+
+    def partition(
+        self, endpoint: str, at: float, until: Optional[float] = None
+    ) -> "FaultSchedule":
+        """Isolate *endpoint* from the fabric at *at* (heal at *until*).
+
+        A partitioned endpoint's inbound and outbound messages are
+        dropped at delivery time; unlike a crash, the process keeps
+        running -- a partitioned leader still believes it leads until the
+        heal lets a newer term reach it.
+        """
+        self.add(FaultAction(time_s=at, kind=PARTITION, target=endpoint))
+        if until is not None:
+            if until <= at:
+                raise ValueError(f"until ({until!r}) must be after at ({at!r})")
+            self.add(FaultAction(time_s=until, kind=HEAL, target=endpoint))
+        return self
 
     # -- stochastic builder ----------------------------------------------------
 

@@ -1,0 +1,480 @@
+"""One metadata-server replica: election, log replication, routing.
+
+A :class:`MetadataServer` is a member of one shard's replica group.  It
+owns a fabric endpoint (``meta-s<shard>-r<replica>``), a full copy of the
+shard's :class:`~repro.core.metadata.ServerMetadata` state machine, and a
+Raft-lite consensus role:
+
+* **follower** -- resets its election timer on every heartbeat; when the
+  timer fires (the leader went quiet), it stands for election.
+* **candidate** -- solicits votes for an incremented term; a majority
+  makes it leader, a newer term or a valid heartbeat demotes it.
+* **leader** -- sends heartbeats (empty AppendEntries) every
+  ``meta_heartbeat_interval_s``, replicates placement updates through the
+  log, commits them on majority match, and serves the request plane:
+  lookups are answered from its local state machine exactly the way the
+  monolithic :class:`~repro.core.server.StorageServer` answers them
+  (per-request CPU overhead serialised in the main loop, so sharding
+  genuinely divides the §III-A server bottleneck).
+
+Election timeouts are drawn from the replica's own named RNG stream
+(``meta:<name>``), so they are randomized *and* seeded: two same-seed
+runs elect the same leaders at the same simulated times.
+
+A crash (``crash()``) silences the replica -- inbound messages drain to
+nowhere, no timers act -- but preserves term, vote and log, mirroring a
+process restart with persistent Raft state: an outage is not data loss.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.config import EEVFSConfig
+from repro.core.metadata import ServerMetadata
+from repro.core.protocol import FileRequest, ForwardedRequest, RequestFailed
+from repro.metaplane.messages import (
+    AppendEntries,
+    AppendReply,
+    LogEntry,
+    OP_ADD_REPLICA,
+    VoteRequest,
+    VoteReply,
+)
+from repro.net.fabric import Fabric
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+from repro.traces.model import RequestOp
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.metaplane.plane import MetaPlane
+
+FOLLOWER = "follower"
+CANDIDATE = "candidate"
+LEADER = "leader"
+
+
+class MetadataServer:
+    """One replica of one metadata shard."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        plane: "MetaPlane",
+        shard: int,
+        replica_index: int,
+        group: Tuple[str, ...],
+        config: EEVFSConfig,
+        rng: np.random.Generator,
+        nic_bps: float,
+    ) -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.plane = plane
+        self.shard = shard
+        self.replica_index = replica_index
+        self.name = group[replica_index]
+        self.group = group
+        self.peers: Tuple[str, ...] = tuple(
+            name for name in group if name != self.name
+        )
+        self.config = config
+        self.rng = rng
+        self.endpoint = fabric.add_endpoint(self.name, nic_bps)
+        #: This replica's copy of the shard's state machine.
+        self.state = ServerMetadata()
+        self.alive = True
+
+        # -- Raft persistent state (survives crash()/repair()) ---------------
+        self.term = 0
+        self.voted_for: Optional[str] = None
+        self.log: List[LogEntry] = []
+
+        # -- Raft volatile state ----------------------------------------------
+        self.role = FOLLOWER
+        self.commit_index = -1
+        self.last_applied = -1
+        self.next_index: Dict[str, int] = {}
+        self.match_index: Dict[str, int] = {}
+        self._votes: Set[str] = set()
+        #: Where this replica last saw leadership (returned to clients as a
+        #: routing hint on not-leader rejections).
+        self.leader_hint: Optional[str] = None
+        self._election_deadline = 0.0
+        self._reset_election_deadline()
+        self.sim.process(self._main_loop())
+        self.sim.process(self._election_loop())
+
+    @property
+    def _majority(self) -> int:
+        return len(self.group) // 2 + 1
+
+    def is_leader(self) -> bool:
+        return self.alive and self.role == LEADER
+
+    # -- bootstrap -----------------------------------------------------------------
+
+    def load_snapshot(
+        self,
+        entries: List[Tuple[int, str, int, Tuple[str, ...]]],
+        down_nodes: List[str],
+    ) -> None:
+        """Install the setup-time metadata for this shard's files.
+
+        Called once by the plane after cluster setup, before replay: every
+        replica receives the identical snapshot directly (the initial
+        placement is setup output, not runtime consensus traffic).
+        """
+        for file_id, node, size_bytes, replicas in entries:
+            self.state.register(file_id, node, size_bytes)
+            for holder in replicas:
+                self.state.add_replica(file_id, holder)
+        for node in down_nodes:
+            self.state.mark_node_down(node)
+
+    # -- fault hooks (driven by FaultInjector via the plane) -------------------------
+
+    def crash(self) -> None:
+        """Kill the replica: it stops speaking and hearing until repaired."""
+        if not self.alive:
+            return
+        self.alive = False
+        if self.role == LEADER:
+            self.plane.note_leader_lost(self.shard, self.name, self.sim.now)
+        self.role = FOLLOWER
+
+    def repair(self) -> None:
+        """Restart the replica as a follower with its persistent state."""
+        if self.alive:
+            return
+        self.alive = True
+        self.role = FOLLOWER
+        self._reset_election_deadline()
+
+    # -- election timer -------------------------------------------------------------
+
+    def _reset_election_deadline(self) -> None:
+        self._election_deadline = self.sim.now + float(
+            self.rng.uniform(
+                self.config.meta_election_timeout_min_s,
+                self.config.meta_election_timeout_max_s,
+            )
+        )
+
+    def _election_loop(self) -> Generator[Event, Any, None]:
+        while True:
+            delay = self._election_deadline - self.sim.now
+            if delay > 0:
+                yield self.sim.timeout(delay)
+                continue
+            if self.alive and self.role != LEADER:
+                self._start_election()
+            self._reset_election_deadline()
+
+    def _start_election(self) -> None:
+        self.term += 1
+        self.role = CANDIDATE
+        self.voted_for = self.name
+        self._votes = {self.name}
+        self.leader_hint = None
+        self.plane.note_election(self.shard)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant("meta.election", self.name, term=self.term)
+        if len(self.group) == 1:
+            self._become_leader()
+            return
+        last_index = len(self.log) - 1
+        last_term = self.log[last_index].term if last_index >= 0 else 0
+        for peer in self.peers:
+            self.fabric.send(
+                self.name,
+                peer,
+                VoteRequest(
+                    term=self.term,
+                    candidate=self.name,
+                    last_log_index=last_index,
+                    last_log_term=last_term,
+                ),
+            )
+
+    # -- role transitions -------------------------------------------------------------
+
+    def _observe_term(self, term: int) -> None:
+        """A higher term (or an equal-term leader) demotes us to follower."""
+        was_leader = self.role == LEADER
+        if term > self.term:
+            self.term = term
+            self.voted_for = None
+        self.role = FOLLOWER
+        if was_leader:
+            self.plane.note_leader_lost(self.shard, self.name, self.sim.now)
+
+    def _become_leader(self) -> None:
+        self.role = LEADER
+        self.leader_hint = self.name
+        last = len(self.log)
+        self.next_index = {peer: last for peer in self.peers}
+        self.match_index = {peer: -1 for peer in self.peers}
+        self.plane.note_leader(self.shard, self.name, self.sim.now)
+        # Placement updates that arrived while the shard was leaderless.
+        for op, file_id, node in self.plane.drain_pending(self.shard):
+            self.log.append(LogEntry(term=self.term, op=op, file_id=file_id, node=node))
+        self._advance_commit()
+        if self.peers:
+            self.sim.process(self._leader_loop(self.term))
+
+    def _leader_loop(self, term: int) -> Generator[Event, Any, None]:
+        """Heartbeat + replication round every heartbeat interval."""
+        interval = self.config.meta_heartbeat_interval_s
+        while self.alive and self.role == LEADER and self.term == term:
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.instant("meta.heartbeat", self.name, term=term)
+            for peer in self.peers:
+                self._send_append(peer)
+            yield self.sim.timeout(interval)
+
+    def _send_append(self, peer: str) -> None:
+        next_index = self.next_index[peer]
+        prev_index = next_index - 1
+        prev_term = self.log[prev_index].term if prev_index >= 0 else 0
+        self.fabric.send(
+            self.name,
+            peer,
+            AppendEntries(
+                term=self.term,
+                leader=self.name,
+                prev_index=prev_index,
+                prev_term=prev_term,
+                entries=tuple(self.log[next_index:]),
+                commit_index=self.commit_index,
+            ),
+        )
+
+    # -- the replicated log -------------------------------------------------------------
+
+    def local_append(self, op: str, file_id: int, node: str) -> None:
+        """Leader-side entry point for a new placement update.
+
+        The entry replicates to followers on the next heartbeat round and
+        commits on majority match; a single-replica group commits at once.
+        """
+        if self.role != LEADER:
+            raise RuntimeError(f"{self.name} is not leader")
+        self.log.append(
+            LogEntry(term=self.term, op=op, file_id=file_id, node=node)
+        )
+        self._advance_commit()
+
+    def _advance_commit(self) -> None:
+        """Leader: commit the highest index a majority has matched."""
+        ranked = sorted(
+            [len(self.log) - 1, *self.match_index.values()], reverse=True
+        )
+        candidate = ranked[self._majority - 1]
+        # Raft §5.4.2: only entries from the *current* term commit by
+        # counting; earlier-term entries commit transitively behind them.
+        if candidate > self.commit_index and self.log[candidate].term == self.term:
+            self.commit_index = candidate
+            self._apply_committed()
+
+    def _apply_committed(self) -> None:
+        while self.last_applied < self.commit_index:
+            self.last_applied += 1
+            self._apply(self.log[self.last_applied])
+            if self.role == LEADER:
+                self.plane.note_commit(self.shard)
+
+    def _apply(self, entry: LogEntry) -> None:
+        if entry.op == OP_ADD_REPLICA:
+            # Idempotent: a leader change can re-deliver the same update.
+            if (
+                entry.file_id in self.state
+                and entry.node not in self.state.holders(entry.file_id)
+            ):
+                self.state.add_replica(entry.file_id, entry.node)
+        else:  # pragma: no cover - closed op vocabulary
+            raise ValueError(f"unknown log op: {entry.op!r}")
+
+    # -- message plane -------------------------------------------------------------------
+
+    def _main_loop(self) -> Generator[Event, Any, None]:
+        while True:
+            message = yield self.endpoint.receive()
+            if not self.alive:
+                continue  # a crashed process answers nothing
+            payload = message.payload
+            if isinstance(payload, FileRequest):
+                yield from self._handle_request(payload)
+            elif isinstance(payload, VoteRequest):
+                self._on_vote_request(payload)
+            elif isinstance(payload, VoteReply):
+                self._on_vote_reply(payload)
+            elif isinstance(payload, AppendEntries):
+                self._on_append(payload)
+            elif isinstance(payload, AppendReply):
+                self._on_append_reply(payload)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"metadata server cannot handle {payload!r}")
+
+    # -- consensus handlers ----------------------------------------------------------
+
+    def _on_vote_request(self, msg: VoteRequest) -> None:
+        if msg.term > self.term:
+            self._observe_term(msg.term)
+        granted = False
+        if (
+            msg.term == self.term
+            and self.voted_for in (None, msg.candidate)
+            and self._log_up_to_date(msg)
+        ):
+            granted = True
+            self.voted_for = msg.candidate
+            self._reset_election_deadline()
+        self.fabric.send(
+            self.name,
+            msg.candidate,
+            VoteReply(term=self.term, voter=self.name, granted=granted),
+        )
+
+    def _log_up_to_date(self, msg: VoteRequest) -> bool:
+        last_index = len(self.log) - 1
+        last_term = self.log[last_index].term if last_index >= 0 else 0
+        return (msg.last_log_term, msg.last_log_index) >= (last_term, last_index)
+
+    def _on_vote_reply(self, msg: VoteReply) -> None:
+        if msg.term > self.term:
+            self._observe_term(msg.term)
+            return
+        if self.role != CANDIDATE or msg.term != self.term:
+            return
+        if msg.granted:
+            self._votes.add(msg.voter)
+            if len(self._votes) >= self._majority:
+                self._become_leader()
+
+    def _on_append(self, msg: AppendEntries) -> None:
+        if msg.term < self.term:
+            self.fabric.send(
+                self.name,
+                msg.leader,
+                AppendReply(
+                    term=self.term, follower=self.name, ok=False, match_index=-1
+                ),
+            )
+            return
+        if msg.term > self.term or self.role != FOLLOWER:
+            self._observe_term(msg.term)
+        self.leader_hint = msg.leader
+        self._reset_election_deadline()
+        if msg.prev_index >= 0 and (
+            msg.prev_index >= len(self.log)
+            or self.log[msg.prev_index].term != msg.prev_term
+        ):
+            # Log mismatch: the leader backs next_index up and retries.
+            ok, match = False, -1
+        else:
+            del self.log[msg.prev_index + 1 :]
+            self.log.extend(msg.entries)
+            ok, match = True, msg.prev_index + len(msg.entries)
+            if msg.commit_index > self.commit_index:
+                self.commit_index = min(msg.commit_index, len(self.log) - 1)
+                self._apply_committed()
+        self.fabric.send(
+            self.name,
+            msg.leader,
+            AppendReply(term=self.term, follower=self.name, ok=ok, match_index=match),
+        )
+
+    def _on_append_reply(self, msg: AppendReply) -> None:
+        if msg.term > self.term:
+            self._observe_term(msg.term)
+            return
+        if self.role != LEADER or msg.term != self.term:
+            return
+        if msg.ok:
+            matched = max(self.match_index[msg.follower], msg.match_index)
+            self.match_index[msg.follower] = matched
+            self.next_index[msg.follower] = matched + 1
+            self._advance_commit()
+        else:
+            self.next_index[msg.follower] = max(0, self.next_index[msg.follower] - 1)
+
+    # -- request plane (the StorageServer forwarding path, sharded) ---------------------
+
+    def _handle_request(
+        self, payload: FileRequest
+    ) -> Generator[Event, Any, None]:
+        if self.role != LEADER:
+            self.plane.note_rejection(self.shard)
+            self.fabric.send(
+                self.name,
+                payload.client,
+                RequestFailed(
+                    request_id=payload.request_id,
+                    file_id=payload.file_id,
+                    reason="not leader",
+                    hint=None if self.leader_hint == self.name else self.leader_hint,
+                ),
+            )
+            return
+        tracer = self.sim.tracer
+        lookup = None
+        if tracer is not None:
+            lookup = tracer.begin(
+                "server.lookup",
+                self.name,
+                parent=tracer.request_span(payload.request_id),
+                file_id=payload.file_id,
+                shard=self.shard,
+            )
+        # Serialised in the main loop: the per-request CPU cost queues
+        # here, so each shard is its own (smaller) §III-A bottleneck.
+        if self.config.server_overhead_s > 0:
+            yield self.sim.timeout(self.config.server_overhead_s)
+        self.plane.note_request(self.shard)
+        if payload.file_id not in self.state:
+            holders: List[str] = []
+        else:
+            holders = self.state.live_holders(payload.file_id)
+        if not holders:
+            self.plane.requests_unroutable += 1
+            self.fabric.send(
+                self.name,
+                payload.client,
+                RequestFailed(
+                    request_id=payload.request_id,
+                    file_id=payload.file_id,
+                    reason="no live holder",
+                ),
+            )
+            if lookup is not None and tracer is not None:
+                tracer.end(lookup, routed=False)
+            return
+        primary, backups = holders[0], tuple(holders[1:])
+        self.fabric.send(
+            self.name,
+            primary,
+            ForwardedRequest(request=payload, failover=backups),
+        )
+        if lookup is not None and tracer is not None:
+            tracer.end(lookup, routed=True, node=primary)
+        if (
+            payload.op is RequestOp.WRITE
+            and self.config.replicate_writes
+            and backups
+        ):
+            for holder in backups:
+                self.fabric.send(
+                    self.name,
+                    holder,
+                    ForwardedRequest(request=payload, silent=True),
+                )
+                self.plane.writes_fanned_out += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<MetadataServer {self.name} {self.role} term={self.term}>"

@@ -16,7 +16,12 @@ from repro.metrics.breakdown import (
 )
 from repro.metrics.chart import bar_chart, grouped_bar_chart
 from repro.metrics.comparison import compare, PairedComparison
-from repro.metrics.report import format_series, format_table, summary_table
+from repro.metrics.report import (
+    format_series,
+    format_table,
+    metaplane_table,
+    summary_table,
+)
 from repro.metrics.wear import wear_report, WearReport
 
 __all__ = [
@@ -31,6 +36,7 @@ __all__ = [
     "format_series",
     "format_table",
     "grouped_bar_chart",
+    "metaplane_table",
     "state_time_breakdown",
     "summary_table",
     "wear_report",

@@ -90,6 +90,60 @@ def summary_table(
     )
 
 
+def metaplane_table(
+    results: "Dict[str, RunResult]",
+    title: Optional[str] = None,
+) -> str:
+    """One row per named run: metadata-plane availability metrics.
+
+    Runs without a metadata plane (``result.metaplane is None``) render
+    dashes in the plane columns but keep their retry/abandonment
+    counters -- the client retry loop exists either way, so a baseline
+    single-server run still lines up against a sharded one.
+    """
+    rows = []
+    for name, result in results.items():
+        plane = result.metaplane
+        if plane is None:
+            shape: Sequence[object] = ["-", "-", "-", "-", "-"]
+        else:
+            shape = [
+                plane.n_shards,
+                plane.n_replicas,
+                plane.elections,
+                plane.leaderless_s,
+                plane.max_leaderless_s,
+            ]
+        rows.append(
+            [
+                name,
+                *shape,
+                result.requests_retried,
+                result.request_timeouts,
+                result.requests_abandoned,
+                result.requests_unroutable,
+                result.availability,
+            ]
+        )
+    return format_table(
+        [
+            "system",
+            "shards",
+            "replicas",
+            "elections",
+            "leaderless_s",
+            "max_shard_s",
+            "retried",
+            "timeouts",
+            "abandoned",
+            "unroutable",
+            "availability",
+        ],
+        rows,
+        title=title,
+    )
+
+
 def format_series(
     x_label: str,
     x_values: Sequence[object],

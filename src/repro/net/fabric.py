@@ -10,7 +10,7 @@ backplane contention), which matches small dedicated cluster switches.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Set
 
 from repro.net.link import DEFAULT_CONNECT_S, DEFAULT_LATENCY_S, Link
 from repro.net.message import Message
@@ -62,8 +62,14 @@ class Fabric:
         self.latency_s = float(latency_s)
         self.connect_s = float(connect_s)
         self._endpoints: Dict[str, Endpoint] = {}
+        #: Endpoints currently cut off by a network partition fault: any
+        #: message to or from one of these is dropped at delivery time
+        #: (the bytes still burn link time -- the network does not know a
+        #: frame is doomed until it fails to arrive).
+        self._partitioned: Set[str] = set()
         self.messages_sent = 0
         self.bytes_sent = 0
+        self.messages_dropped = 0
 
     # -- topology ---------------------------------------------------------------
 
@@ -85,6 +91,17 @@ class Fabric:
     def endpoints(self) -> list[str]:
         """All endpoint names, sorted."""
         return sorted(self._endpoints)
+
+    def set_partitioned(self, name: str, isolated: bool) -> None:
+        """Cut *name* off from (or rejoin it to) the switching fabric."""
+        self.endpoint(name)  # fail fast on typos
+        if isolated:
+            self._partitioned.add(name)
+        else:
+            self._partitioned.discard(name)
+
+    def is_partitioned(self, name: str) -> bool:
+        return name in self._partitioned
 
     # -- data plane ---------------------------------------------------------------
 
@@ -155,6 +172,15 @@ class Fabric:
             self.messages_sent += 1
             self.bytes_sent += message.size_bytes
         message.delivered_at = self.sim.now
+        if self._partitioned and (
+            message.src in self._partitioned or message.dst in self._partitioned
+        ):
+            # Partition check happens at delivery time so a cut that
+            # lands mid-flight still eats the message.
+            self.messages_dropped += 1
+            if span is not None and tracer is not None:
+                tracer.end(span, dropped=True)
+            return None
         if span is not None and tracer is not None:
             tracer.end(span)
         receiver.messages_received += 1

@@ -50,6 +50,9 @@ SPAN_KINDS = (
     "fault",
     "setup",
     "replay",
+    "meta.election",
+    "meta.heartbeat",
+    "client.retry",
 )
 
 

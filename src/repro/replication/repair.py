@@ -113,5 +113,11 @@ class ReplicationManager:
         metadata = self.server.metadata
         if payload.node not in metadata.holders(payload.file_id):
             metadata.add_replica(payload.file_id, payload.node)
+            if self.server.metaplane is not None:
+                # The plane's shards learn of the new holder through
+                # their replicated log (queued while leaderless).
+                self.server.metaplane.propose_add_replica(
+                    payload.file_id, payload.node
+                )
         self.repairs_completed += 1
         self.bytes_recopied += metadata.lookup(payload.file_id).size_bytes

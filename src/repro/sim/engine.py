@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional, TYPE_CHECKING
-import warnings
 
 from repro.sim.events import AllOf, AnyOf, Event, NORMAL, PENDING, Timeout, URGENT
 from repro.sim.process import Process
@@ -168,28 +167,6 @@ class Simulator:
     def event_hooks(self) -> tuple[Callable[[float, Event], None], ...]:
         """The installed event hooks, in dispatch order (read-only view)."""
         return tuple(self._event_hooks)
-
-    def set_event_hook(
-        self, hook: Optional[Callable[[float, Event], None]]
-    ) -> None:
-        """Install *hook* as the only observer (``None`` removes all).
-
-        .. deprecated::
-            This was the single-slot predecessor of
-            :meth:`add_event_hook`/:meth:`remove_event_hook`; it clears
-            every installed hook, so two observers cannot coexist through
-            it.  It will be removed one release after the multi-hook API
-            landed.
-        """
-        warnings.warn(
-            "Simulator.set_event_hook is deprecated; use add_event_hook/"
-            "remove_event_hook so observers can coexist",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self._event_hooks.clear()
-        if hook is not None:
-            self._event_hooks.append(hook)
 
     def step(self) -> None:
         """Process exactly one event.

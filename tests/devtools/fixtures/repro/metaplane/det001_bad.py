@@ -1,0 +1,12 @@
+"""Known-bad fixture: raw generators inside the consensus package.
+
+Election timeouts must come from the named-stream registry; an unseeded
+generator here would make leader elections differ run to run.
+"""
+
+import numpy as np
+
+
+def election_timeout():
+    rng = np.random.default_rng()
+    return rng.uniform(1.5, 3.0)

@@ -1,0 +1,15 @@
+"""Known-bad fixture: unordered iteration in the consensus package.
+
+Iterating a dict view or set while counting votes or advancing commit
+indexes feeds hash order into event scheduling -- exactly what DET003
+exists to catch in repro.metaplane.
+"""
+
+
+def count_votes(match_index):
+    ranked = []
+    for index in match_index.values():
+        ranked.append(index)
+    for voter in {"r0", "r1", "r2"}:
+        ranked.append(len(voter))
+    return ranked

@@ -1,0 +1,149 @@
+"""The client request path through a sharded, replicated metadata plane.
+
+End-to-end runs: the full cluster facade with ``metadata_plane`` on, so
+requests route by consistent hash, follow not-leader hints, retry with
+backoff through elections, and -- when every retry is exhausted -- are
+recorded as unavailability rather than raised as exceptions.
+"""
+
+import numpy as np
+
+from repro.core import EEVFSConfig
+from repro.core.filesystem import EEVFSCluster
+from repro.faults import FaultSchedule
+from repro.traces import generate_synthetic_trace
+from repro.traces.synthetic import SyntheticWorkload
+
+
+def trace(n_requests=200, seed=6):
+    return generate_synthetic_trace(
+        SyntheticWorkload(n_files=80, n_requests=n_requests),
+        rng=np.random.default_rng(seed),
+    )
+
+
+def plane_config(**overrides):
+    base = dict(
+        metadata_plane=True,
+        metadata_shards=4,
+        metadata_replicas=3,
+        request_timeout_s=10.0,
+        request_max_retries=6,
+        request_backoff_base_s=0.5,
+        request_backoff_cap_s=4.0,
+    )
+    base.update(overrides)
+    return EEVFSConfig(**base)
+
+
+class TestFaultFreePlane:
+    def test_every_request_completes(self):
+        cluster = EEVFSCluster(config=plane_config())
+        result = cluster.run(trace())
+        assert result.requests_failed == 0
+        assert result.requests_abandoned == 0
+        assert result.availability == 1.0
+        assert result.requests_total == 200
+
+    def test_plane_metrics_are_reported(self):
+        cluster = EEVFSCluster(config=plane_config())
+        result = cluster.run(trace())
+        plane = result.metaplane
+        assert plane is not None
+        assert plane.n_shards == 4 and plane.n_replicas == 3
+        # One startup election per shard, then stability: no leaderless
+        # time inside the measurement window.
+        assert plane.elections == 4
+        assert plane.leaderless_s == 0.0
+        assert plane.requests_routed > 0
+        # Every shard saw traffic (the synthetic catalog spans them all).
+        assert all(s.requests_routed > 0 for s in plane.shards)
+
+    def test_not_leader_rejections_resolve_via_hints(self):
+        cluster = EEVFSCluster(config=plane_config())
+        result = cluster.run(trace())
+        plane = result.metaplane
+        assert plane is not None
+        # The router's initial guess (replica 0) is wrong for any shard
+        # whose election went elsewhere; each wrong guess costs one
+        # rejection that the hint then repairs -- never a failure.
+        if plane.not_leader_rejections:
+            assert result.requests_retried >= plane.not_leader_rejections
+        assert result.requests_failed == 0
+
+    def test_no_plane_means_no_plane_stats(self):
+        cluster = EEVFSCluster(config=EEVFSConfig())
+        result = cluster.run(trace())
+        assert result.metaplane is None
+
+
+class TestLeaderCrashDrill:
+    def drill(self, replicas):
+        schedule = (
+            FaultSchedule()
+            .meta_leader_fail(0, at=20.0)
+            .meta_repair("shard0", at=40.0)
+            .meta_leader_fail(1, at=60.0)
+            .meta_repair("shard1", at=80.0)
+        )
+        cluster = EEVFSCluster(
+            config=plane_config(metadata_shards=2, metadata_replicas=replicas),
+            faults=schedule,
+        )
+        return cluster.run(trace())
+
+    def test_replicated_plane_rides_out_leader_crashes(self):
+        result = self.drill(replicas=3)
+        plane = result.metaplane
+        assert plane is not None
+        assert result.requests_abandoned == 0
+        assert result.requests_failed == 0
+        # The survivors elect within seconds: some leaderless time, but
+        # far less than the 20 s repair delay.
+        assert 0.0 < plane.leaderless_s < 20.0
+        assert plane.elections > 2  # startup plus the re-elections
+
+    def test_unreplicated_plane_goes_dark_until_repair(self):
+        result = self.drill(replicas=1)
+        plane = result.metaplane
+        assert plane is not None
+        # Nobody can take over: each shard is down for its full
+        # crash-to-repair window plus the restart election timeout.
+        assert plane.leaderless_s > 40.0
+        assert result.request_timeouts > 0
+
+    def test_exhausted_retries_are_unavailability_not_exceptions(self):
+        # Impatient client (one retry, no repair ever) against a dead
+        # 1-replica shard: requests are abandoned, the run still
+        # finishes and accounts for every request.
+        schedule = FaultSchedule().meta_leader_fail(0, at=20.0)
+        cluster = EEVFSCluster(
+            config=plane_config(
+                metadata_shards=1,
+                metadata_replicas=1,
+                request_timeout_s=5.0,
+                request_max_retries=1,
+            ),
+            faults=schedule,
+        )
+        result = cluster.run(trace())
+        assert result.requests_abandoned > 0
+        assert result.requests_failed == result.requests_abandoned
+        assert result.requests_total + result.requests_failed == 200
+        assert result.availability < 1.0
+        reasons = {reason for _, _, reason in cluster.client.failures}
+        assert any("abandoned after" in reason for reason in reasons)
+
+
+class TestWritePath:
+    def test_writes_fan_out_through_the_plane(self):
+        mixed = generate_synthetic_trace(
+            SyntheticWorkload(n_files=80, n_requests=200, write_fraction=0.3),
+            rng=np.random.default_rng(6),
+        )
+        cluster = EEVFSCluster(
+            config=plane_config(replication_factor=2),
+        )
+        result = cluster.run(mixed)
+        assert result.writes_fanned_out > 0
+        assert result.requests_failed == 0

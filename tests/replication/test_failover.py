@@ -119,9 +119,14 @@ class TestWholeNodeFailover:
         )
         result = cluster.run(trace())
         assert result.requests_failed > 0
-        # Zero-latency down-marking: failures are unroutable drops, and
-        # every request still gets an answer.
-        assert result.requests_unroutable == result.requests_failed
+        # Zero-latency down-marking: every failed attempt is an
+        # unroutable drop, and with the node never repaired each doomed
+        # request burns its full retry budget before being abandoned.
+        attempts = 1 + result.config.request_max_retries
+        assert result.requests_abandoned == result.requests_failed
+        assert result.requests_failed <= result.requests_unroutable
+        assert result.requests_unroutable <= attempts * result.requests_failed
+        assert result.requests_retried > 0
         assert result.requests_total + result.requests_failed == 300
 
     def test_losing_every_holder_fails_cleanly(self):

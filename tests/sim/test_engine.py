@@ -322,19 +322,11 @@ def test_event_hooks_fire_in_installation_order():
     assert order[:2] == ["a", "b"]
 
 
-def test_set_event_hook_is_deprecated_and_clears_others():
-    sim = Simulator()
-    sim.add_event_hook(lambda now, event: None)
-    only = []
-    with pytest.deprecated_call():
-        sim.set_event_hook(lambda now, event: only.append(now))
-    assert len(sim.event_hooks) == 1
-    _tick(sim, n=1)
-    sim.run()
-    assert only  # the replacement hook is the one that fires
-    with pytest.deprecated_call():
-        sim.set_event_hook(None)
-    assert sim.event_hooks == ()
+def test_single_slot_hook_shim_is_gone():
+    # The deprecated set_event_hook shim (which cleared every installed
+    # observer) completed its removal cycle; the multi-hook API is the
+    # only way in.
+    assert not hasattr(Simulator, "set_event_hook")
 
 
 def test_run_until_time_reusable_after_clean_stop():
