@@ -37,6 +37,7 @@ def test_perf_benchmark_writes_valid_report():
     assert report["engine"]["events"] > 0
     assert report["engine"]["events_per_s"] > 0
     assert report["single_run"]["runs_per_s"] > 0
+    assert report["online_run"]["runs_per_s"] > 0
     assert report["parallel"]["identical_metrics"] is True
 
     on_disk = json.loads(out.read_text())
@@ -71,3 +72,15 @@ def test_history_migrates_v1_and_appends(tmp_path):
     second = run_perf_benchmark(n_requests=40, out_path=out)
     assert len(second["history"]) == 3
     assert second["history"][:2] == first["history"][:2]
+
+
+def test_history_carries_v2_forward(tmp_path):
+    out = tmp_path / "BENCH_perf.json"
+    v2_entry = {"ts": 1.0, "engine_events_per_s": 9.0, "parallel_speedup": 1.5}
+    out.write_text(
+        json.dumps({"schema": "eevfs-bench-perf/2", "history": [v2_entry]})
+    )
+
+    report = run_perf_benchmark(n_requests=40, out_path=out)
+    assert report["history"][0] == v2_entry  # v2 rows survive untouched
+    assert report["history"][-1]["online_run_wall_s"] > 0

@@ -309,6 +309,66 @@ def _cmd_metaplane(args: argparse.Namespace) -> None:
     )
 
 
+def _cmd_online(args: argparse.Namespace) -> None:
+    """Oracle-vs-online ablation: how much savings survives without
+    hindsight?  Optionally writes a determinism fingerprint (--json)."""
+    from repro.experiments.online import (
+        ablation_rows,
+        ABLATION_HEADERS,
+        online_ablation,
+        online_fingerprint,
+        retention_summary,
+    )
+    from repro.metrics.report import online_series, online_table
+
+    sweeps = args.sweeps if args.sweeps else None
+    ablation = online_ablation(
+        sweeps=sweeps,
+        n_requests=args.requests,
+        seed=args.seed,
+        jobs=args.jobs,
+        estimator=args.estimator,
+    )
+    for sweep in ablation:
+        points = ablation[sweep]
+        print(
+            format_table(
+                ABLATION_HEADERS,
+                ablation_rows(points),
+                title=f"Oracle vs online ({args.estimator}): {sweep} sweep",
+            )
+        )
+        print()
+    summary = retention_summary(ablation)
+    print(
+        f"Across {summary['points']:.0f} points: oracle saves "
+        f"{summary['oracle_savings_mean_pct']:.1f}% vs NPF, online saves "
+        f"{summary['online_savings_mean_pct']:.1f}% -- "
+        f"{100 * summary['retention_mean']:.0f}% of the oracle's savings "
+        f"retained without hindsight."
+    )
+    if args.series:
+        first = next(iter(ablation.values()))[0]
+        print()
+        print(
+            online_series(
+                first.online,
+                title=f"Controller trajectory ({first.parameter}={first.value})",
+            )
+        )
+        print()
+        print(
+            online_table(
+                {"oracle": first.oracle, "online": first.online, "npf": first.npf},
+                title="Controller activity (first point)",
+            )
+        )
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(online_fingerprint(ablation))
+        print(f"\nFingerprint written to {args.json}")
+
+
 def _cmd_faults(args: argparse.Namespace) -> None:
     """Fault drill: one workload, one fault schedule, with and without
     replication -- what does riding out failures cost in energy?"""
@@ -616,6 +676,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="replica counts to sweep (default: 1 3)",
     )
     metaplane.set_defaults(func=_cmd_metaplane)
+    online = sub.add_parser(
+        "online", help="oracle-vs-online prefetching ablation (repro.online)"
+    )
+    online.add_argument(
+        "--sweeps",
+        nargs="+",
+        metavar="SWEEP",
+        choices=["data_size", "mu", "inter_arrival", "prefetch_count", "traces"],
+        help=(
+            "subset of the corpus (default: all four Table-II sweeps plus "
+            "the berkeley/drifting trace studies)"
+        ),
+    )
+    online.add_argument(
+        "--estimator",
+        choices=["ema", "cms"],
+        default="ema",
+        help="streaming estimator: exact EMA or Count-Min Sketch",
+    )
+    online.add_argument(
+        "--series",
+        action="store_true",
+        help="also print the first point's controller trajectory",
+    )
+    online.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the determinism fingerprint (canonical JSON) to PATH",
+    )
+    online.set_defaults(func=_cmd_online)
     bench = sub.add_parser(
         "bench", help="performance benchmark (writes BENCH_perf.json)"
     )

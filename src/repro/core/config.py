@@ -261,6 +261,46 @@ class EEVFSConfig:
     request_backoff_base_s: float = 0.1
     request_backoff_cap_s: float = 2.0
     request_retry_jitter: float = 0.1
+    #: Online mode (repro.online): drop the oracle access log.  Setup
+    #: places files in catalog order (no history), sends *no* access
+    #: hints, and skips the initial prefetch; a streaming popularity
+    #: estimator learns from the observed request stream, an adaptive
+    #: controller retunes prefetch-K and the disk idle threshold from
+    #: the measured hit ratio and spin-up counts, and an epoch-based
+    #: replanner re-prefetches when the estimated top-K drifts.
+    online_mode: bool = False
+    #: Streaming estimator: "ema" (exact exponentially-decayed counts)
+    #: or "cms" (Count-Min Sketch + bounded decaying top-set).
+    online_estimator: str = "ema"
+    #: EMA decay half-life: an access loses half its weight after this
+    #: much simulated time (also the CMS aging period).
+    online_halflife_s: float = 120.0
+    #: Count-Min Sketch geometry (width x depth counters) and the size
+    #: of the exact top-set kept next to the sketch.
+    online_cms_width: int = 512
+    online_cms_depth: int = 4
+    online_cms_capacity: int = 256
+    #: Controller cadence and set-point: every interval the controller
+    #: compares the windowed buffer-hit ratio against the target (with
+    #: +/- hysteresis dead-band) and steps prefetch-K, and compares the
+    #: per-disk spin-up rate against ``online_spinup_rate_max`` (per
+    #: disk per minute) to step the idle threshold.
+    online_control_interval_s: float = 30.0
+    online_target_hit_ratio: float = 0.6
+    online_hysteresis: float = 0.05
+    online_k_step: int = 10
+    online_k_min: int = 10
+    online_k_max: int = 200
+    online_spinup_rate_max: float = 2.0
+    online_idle_step_s: float = 1.0
+    online_idle_min_s: float = 1.0
+    online_idle_max_s: float = 30.0
+    #: Re-prefetch epoch: every epoch the replanner ranks the estimator's
+    #: view, diffs the top-K against the current buffer plan, and -- when
+    #: the drift fraction reaches ``online_drift_threshold`` -- replaces
+    #: the buffer contents through the normal prefetch path.
+    online_replan_epoch_s: float = 60.0
+    online_drift_threshold: float = 0.1
     #: Include the storage server's energy in reports (the paper measures
     #: the storage nodes only).
     account_server_energy: bool = False
@@ -348,6 +388,52 @@ class EEVFSConfig:
                 "metadata_plane routes requests around the storage server, "
                 "whose online log feeds re-prefetching; disable one of them"
             )
+        if self.online_estimator not in ("ema", "cms"):
+            raise ValueError(f"unknown online_estimator: {self.online_estimator!r}")
+        if self.online_halflife_s <= 0:
+            raise ValueError("online_halflife_s must be > 0")
+        if self.online_cms_width < 1 or self.online_cms_depth < 1:
+            raise ValueError("CMS geometry must be >= 1 in both dimensions")
+        if self.online_cms_capacity < 1:
+            raise ValueError("online_cms_capacity must be >= 1")
+        if self.online_control_interval_s <= 0:
+            raise ValueError("online_control_interval_s must be > 0")
+        if not 0.0 < self.online_target_hit_ratio <= 1.0:
+            raise ValueError("online_target_hit_ratio must be in (0, 1]")
+        if self.online_hysteresis < 0:
+            raise ValueError("online_hysteresis must be >= 0")
+        if self.online_k_step < 1:
+            raise ValueError("online_k_step must be >= 1")
+        if not 0 <= self.online_k_min <= self.online_k_max:
+            raise ValueError("need 0 <= online_k_min <= online_k_max")
+        if self.online_spinup_rate_max < 0:
+            raise ValueError("online_spinup_rate_max must be >= 0")
+        if self.online_idle_step_s <= 0:
+            raise ValueError("online_idle_step_s must be > 0")
+        if not 0 < self.online_idle_min_s <= self.online_idle_max_s:
+            raise ValueError("need 0 < online_idle_min_s <= online_idle_max_s")
+        if self.online_replan_epoch_s <= 0:
+            raise ValueError("online_replan_epoch_s must be > 0")
+        if not 0.0 <= self.online_drift_threshold <= 1.0:
+            raise ValueError("online_drift_threshold must be in [0, 1]")
+        if self.online_mode:
+            if not self.prefetch_enabled:
+                raise ValueError(
+                    "online_mode is an adaptive *prefetching* mode; it "
+                    "needs prefetch_enabled (compare against a plain NPF "
+                    "config instead)"
+                )
+            if self.metadata_plane:
+                raise ValueError(
+                    "online_mode estimates popularity from the storage "
+                    "server's request stream, which metadata_plane routes "
+                    "around; disable one of them"
+                )
+            if self.reprefetch_interval_s is not None:
+                raise ValueError(
+                    "online_mode's drift-triggered replanner replaces the "
+                    "fixed reprefetch_interval_s loop; disable one of them"
+                )
         if self.request_max_retries < 0:
             raise ValueError("request_max_retries must be >= 0")
         if self.request_timeout_s is not None and self.request_timeout_s <= 0:
@@ -360,8 +446,12 @@ class EEVFSConfig:
             raise ValueError("obs_sample_interval_s must be > 0")
 
     def as_npf(self) -> "EEVFSConfig":
-        """The paper's NPF comparator: same system, prefetching off."""
-        return replace(self, prefetch_enabled=False)
+        """The paper's NPF comparator: same system, prefetching off.
+
+        Online mode is dropped too: it is an adaptive *prefetching* mode,
+        so the no-prefetch comparator runs without its controllers.
+        """
+        return replace(self, prefetch_enabled=False, online_mode=False)
 
     def as_pf(self) -> "EEVFSConfig":
         """Prefetching on (identity if already on)."""

@@ -27,6 +27,9 @@ from repro.metaplane.plane import MetaPlane, MetaPlaneStats
 from repro.net.fabric import Fabric
 from repro.obs.runtime import Observability, maybe_snapshot
 from repro.obs.tracer import RunTrace
+from repro.online.controller import OnlineController, OnlineStats
+from repro.online.estimators import build_estimator, OnlineEstimator
+from repro.online.replan import ReplanLoop
 from repro.sim.engine import Simulator
 from repro.sim.monitor import TallyStat
 from repro.sim.rng import RandomStreams
@@ -133,6 +136,10 @@ class RunResult:
     duplicate_replies: int = 0
     #: Metadata-plane availability metrics (None when the plane is off).
     metaplane: Optional[MetaPlaneStats] = None
+    #: Online-mode controller/replan summary (None unless
+    #: ``config.online_mode``): the adaptive K and idle-threshold
+    #: trajectory, replan counts, and the hit-ratio/K time series.
+    online: Optional[OnlineStats] = None
     #: Observability snapshot (spans + telemetry series); None unless the
     #: run was executed with ``obs`` enabled.  Plain data -- safe to
     #: pickle across the repro.parallel process boundary.
@@ -202,6 +209,11 @@ class EEVFSCluster:
             connect_s=self.cluster.connect_s,
         )
         node_names = [n.name for n in self.cluster.storage_nodes]
+        #: Online mode (repro.online): the streaming estimator replaces
+        #: the oracle access log as the server's popularity source.
+        self.online_estimator: Optional[OnlineEstimator] = None
+        if self.config.online_mode:
+            self.online_estimator = build_estimator(self.config)
         self.server = StorageServer(
             self.sim,
             self.fabric,
@@ -214,6 +226,7 @@ class EEVFSCluster:
             node_weights={
                 n.name: n.nic_bps for n in self.cluster.storage_nodes
             },
+            popularity_source=self.online_estimator,
         )
         self.nodes: List[StorageNode] = [
             node_class(
@@ -254,6 +267,23 @@ class EEVFSCluster:
             ),
             rng=self.streams.stream("client:retry"),
         )
+        #: Adaptive control + drift-triggered replanning; started by
+        #: :meth:`run` at the trace epoch, like the fault injector, so
+        #: control ticks and replan epochs are workload-relative.
+        self.online_controller: Optional[OnlineController] = None
+        self.online_replanner: Optional[ReplanLoop] = None
+        if self.config.online_mode:
+            assert self.online_estimator is not None
+            self.online_controller = OnlineController(
+                self.sim, nodes=self.nodes, config=self.config
+            )
+            self.online_replanner = ReplanLoop(
+                self.sim,
+                server=self.server,
+                estimator=self.online_estimator,
+                controller=self.online_controller,
+                config=self.config,
+            )
         #: Fault injection (repro.faults); started by :meth:`run` at the
         #: trace epoch so schedule times are workload-relative.
         self.injector: Optional[FaultInjector] = None
@@ -314,6 +344,13 @@ class EEVFSCluster:
                 f"disk.state:{disk.name}",
                 lambda d=disk: float(DISK_STATE_CODES[d.state]),
             )
+        controller = self.online_controller
+        if controller is not None:
+            telemetry.gauge("online.k", lambda: float(controller.k))
+            telemetry.gauge(
+                "online.idle_threshold_s",
+                lambda: float(controller.idle_threshold_s),
+            )
 
     def run(
         self,
@@ -344,6 +381,10 @@ class EEVFSCluster:
             self.metaplane.reset_measurement(epoch)
         if self.injector is not None:
             self.injector.start(epoch)
+        if self.online_controller is not None:
+            self.online_controller.start()
+        if self.online_replanner is not None:
+            self.online_replanner.start()
 
         # Snapshot energy at the start of the measurement window.
         disk_energy_at_epoch = {
@@ -478,8 +519,17 @@ class EEVFSCluster:
             metaplane=(
                 self.metaplane.snapshot() if self.metaplane is not None else None
             ),
+            online=self._online_snapshot(),
             trace=maybe_snapshot(self.observer),
         )
+
+    def _online_snapshot(self) -> Optional[OnlineStats]:
+        if self.online_controller is None:
+            return None
+        stats = self.online_controller.snapshot()
+        assert self.online_estimator is not None
+        stats.samples_recorded = self.online_estimator.recorded
+        return stats
 
     def _server_energy_j(self) -> float:
         """Whole-server energy so far (base power only; its disk serves

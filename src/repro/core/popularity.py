@@ -7,14 +7,45 @@ and produces the two orderings the system needs:
 
 * the full descending-popularity ranking used for placement (§III-B), and
 * the top-K selection used for prefetching (§IV-B).
+
+:class:`PopularitySource` is the protocol both obey: the oracle
+estimator here (popularity from a complete historical trace) and the
+streaming estimators in :mod:`repro.online` (popularity from the
+observed request stream only) are interchangeable wherever placement,
+prefetch planning, or hint generation needs a total order over files.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Protocol, runtime_checkable, Sequence, Tuple
 
 from repro.traces.logio import AccessLog
 from repro.traces.model import Trace
+
+
+@runtime_checkable
+class PopularitySource(Protocol):
+    """Anything that turns observed accesses into popularity orderings.
+
+    The contract shared by the oracle :class:`PopularityEstimator` and
+    the streaming estimators in :mod:`repro.online.estimators`:
+
+    * ``record`` ingests one access (a no-op cost-wise: O(1) amortised);
+    * ``ranking`` returns a *total order* over the catalog when one is
+      given -- observed files first, most popular first, deterministic
+      tie-break -- so placement can place every file;
+    * ``top_k`` is the prefetch candidate list (``ranking[:k]``).
+    """
+
+    def record(self, time_s: float, file_id: int) -> None: ...
+
+    def ranking(self, catalog: Optional[Sequence[int]] = None) -> List[int]: ...
+
+    def top_k(self, k: int, catalog: Optional[Sequence[int]] = None) -> List[int]: ...
+
+
+#: Ranking-cache key: (log version, catalog fingerprint).
+_CacheKey = Tuple[Optional[int], Optional[Tuple[int, ...]]]
 
 
 class PopularityEstimator:
@@ -28,8 +59,12 @@ class PopularityEstimator:
 
     def __init__(self, log: Optional[AccessLog] = None) -> None:
         self.log = log if log is not None else AccessLog()
-        #: (log version, catalog key) -> full ranking.
-        self._ranking_cache: dict = {}
+        #: (log version, catalog key) -> full ranking.  Only entries for
+        #: the *latest* observed log version are retained: a live log
+        #: bumps its version on every append, so stale versions can
+        #: never be asked for again and keeping them would leak one
+        #: ranking per (version, catalog) pair over a long online run.
+        self._ranking_cache: Dict[_CacheKey, List[int]] = {}
 
     @classmethod
     def from_trace(cls, trace: Trace) -> "PopularityEstimator":
@@ -54,7 +89,7 @@ class PopularityEstimator:
         total order over the file system -- required by placement, which
         must place *every* file.
         """
-        cache_key = (
+        cache_key: _CacheKey = (
             getattr(self.log, "version", None),
             None if catalog is None else tuple(catalog),
         )
@@ -76,10 +111,14 @@ class PopularityEstimator:
                 )
             result = ranked + tail
         if cache_key[0] is not None:
-            # Keep the cache tiny: one entry per (version, catalog) pair,
-            # dropping stale versions so a live log cannot grow it.
-            if len(self._ranking_cache) > 8:
-                self._ranking_cache.clear()
+            # Evict every entry from an older log version: appends bump
+            # the version, so those keys are dead and would otherwise
+            # accumulate one ranking per append over a live run.
+            stale = [
+                key for key in list(self._ranking_cache) if key[0] != cache_key[0]
+            ]
+            for key in stale:
+                del self._ranking_cache[key]
             self._ranking_cache[cache_key] = result
         return list(result)
 

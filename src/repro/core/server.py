@@ -27,7 +27,7 @@ from repro.core.placement import (
     place_round_robin,
     place_weighted,
 )
-from repro.core.popularity import PopularityEstimator
+from repro.core.popularity import PopularityEstimator, PopularitySource
 from repro.core.prefetch import plan_prefetch, PrefetchPlan
 from repro.core.protocol import (
     AccessHints,
@@ -63,6 +63,7 @@ class StorageServer:
         name: str = SERVER_NAME,
         node_disk_counts: Optional[Dict[str, int]] = None,
         node_weights: Optional[Dict[str, float]] = None,
+        popularity_source: Optional[PopularitySource] = None,
     ) -> None:
         if not node_names:
             raise ValueError("server needs at least one storage node")
@@ -82,8 +83,18 @@ class StorageServer:
         #: Relative node capability (NIC rate) for weighted placement.
         self.node_weights = dict(node_weights or {})
         self.endpoint = fabric.add_endpoint(name, nic_bps)
+        if config.online_mode and popularity_source is None:
+            raise ValueError(
+                "online_mode drops the oracle: the server needs an injected "
+                "PopularitySource (a repro.online streaming estimator)"
+            )
         self.metadata = ServerMetadata()
         self.estimator: Optional[PopularityEstimator] = None
+        #: Where popularity orderings come from.  Oracle mode builds a
+        #: PopularityEstimator from the historical trace during setup;
+        #: online mode is handed a streaming estimator that this server
+        #: feeds from the live request stream instead.
+        self.popularity_source: Optional[PopularitySource] = popularity_source
         self.placement: Dict[int, str] = {}
         self.prefetch_plan: Optional[PrefetchPlan] = None
         self.requests_forwarded = 0
@@ -109,6 +120,11 @@ class StorageServer:
         self._prefetch_all_acked: Optional[Event] = None
         self._main = sim.process(self._main_loop())
 
+    @property
+    def catalog(self) -> List[int]:
+        """Every file id placed during setup (the ranking domain)."""
+        return list(self._catalog)
+
     # -- setup (Fig. 2 steps 1-4) ---------------------------------------------------
 
     def setup(self, trace: Trace, history: Optional[Trace] = None):
@@ -129,11 +145,19 @@ class StorageServer:
         for node in self.node_names:
             yield self.fabric.connect(self.name, node)
 
-        # Step 2: popularity from the historical access log.
-        self.estimator = PopularityEstimator.from_trace(history)
+        # Step 2: popularity.  Oracle mode reads the historical access
+        # log; online mode has no hindsight -- its streaming estimator
+        # starts cold, so the initial ranking degenerates to catalog
+        # order and everything popularity-shaped is learned during
+        # replay.
         catalog = [f.file_id for f in trace.files]
         self._catalog = catalog
-        ranking = self.estimator.ranking(catalog)
+        if self.config.online_mode:
+            assert self.popularity_source is not None  # checked at init
+        else:
+            self.estimator = PopularityEstimator.from_trace(history)
+            self.popularity_source = self.estimator
+        ranking = self.popularity_source.ranking(catalog)
 
         # Step 3a: place files on nodes by popularity rank.
         if self.config.placement_policy == "concentrate":
@@ -200,8 +224,15 @@ class StorageServer:
                 )
         yield self.sim.all_of(create_events)
 
-        # Step 3b: instruct prefetching.
-        if self.config.prefetch_enabled and self.config.prefetch_files > 0:
+        # Step 3b: instruct prefetching.  Online mode starts with cold
+        # buffers -- a cold estimator would only prefetch catalog-order
+        # files -- and lets the replan loop populate them once the
+        # stream has taught the estimator something.
+        if (
+            self.config.prefetch_enabled
+            and self.config.prefetch_files > 0
+            and not self.config.online_mode
+        ):
             self.prefetch_plan = plan_prefetch(
                 ranking, self.config.prefetch_files, self.placement
             )
@@ -220,23 +251,26 @@ class StorageServer:
                 yield self._prefetch_all_acked
 
         # Step 4: application hints -- per node, the future arrival times
-        # of every file it hosts.  Sent regardless of mode; nodes decide
-        # whether to act on them (config.use_hints).
+        # of every file it hosts.  Sent regardless of PF/NPF mode (nodes
+        # decide whether to act on them, config.use_hints) -- but *not*
+        # in online mode, whose whole premise is that the future trace
+        # is unknown; nodes then power-manage on idle timers alone.
         epoch = self.sim.now
-        arrivals: Dict[str, Dict[int, List[float]]] = defaultdict(dict)
-        for request in trace.requests:
-            node = self.placement[request.file_id]
-            arrivals[node].setdefault(request.file_id, []).append(request.time_s)
-        hint_events = []
-        for node in self.node_names:
-            payload = AccessHints(
-                arrivals={
-                    fid: tuple(times) for fid, times in arrivals[node].items()
-                },
-                epoch_s=epoch,
-            )
-            hint_events.append(self.fabric.send(self.name, node, payload))
-        yield self.sim.all_of(hint_events)
+        if not self.config.online_mode:
+            arrivals: Dict[str, Dict[int, List[float]]] = defaultdict(dict)
+            for request in trace.requests:
+                node = self.placement[request.file_id]
+                arrivals[node].setdefault(request.file_id, []).append(request.time_s)
+            hint_events = []
+            for node in self.node_names:
+                payload = AccessHints(
+                    arrivals={
+                        fid: tuple(times) for fid, times in arrivals[node].items()
+                    },
+                    epoch_s=epoch,
+                )
+                hint_events.append(self.fabric.send(self.name, node, payload))
+            yield self.sim.all_of(hint_events)
         if (
             self.config.prefetch_enabled
             and self.config.reprefetch_interval_s is not None
@@ -296,6 +330,10 @@ class StorageServer:
                 if self.config.server_overhead_s > 0:
                     yield self.sim.timeout(self.config.server_overhead_s)
                 self.online_log.append(self.sim.now, payload.file_id)
+                if self.config.online_mode and self.popularity_source is not None:
+                    # Feed the streaming estimator -- the only popularity
+                    # signal the system has without the oracle.
+                    self.popularity_source.record(self.sim.now, payload.file_id)
                 holders = self.metadata.live_holders(payload.file_id)
                 if not holders:
                     # Every holder is down: fail fast rather than strand

@@ -65,6 +65,7 @@ class LintConfig:
         "repro/net",
         "repro/obs",
         "repro/metaplane",
+        "repro/online",
     )
     #: Modules whose objects cross the process-pool pickle boundary
     #: (PAR001): the specs themselves plus everything their fields hold.

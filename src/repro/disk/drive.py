@@ -387,6 +387,21 @@ class SimDisk:
         ):
             self._watchdog = self.sim.process(self._idle_watchdog())
 
+    def set_idle_threshold(self, seconds: float) -> None:
+        """Retarget the built-in idle timer (adaptive power management).
+
+        Takes effect from the *next* idle period: a countdown already
+        running keeps its original deadline, so an unchanged threshold
+        is behaviourally invisible.  Only valid on drives built with an
+        idle timer -- the online controller must not conjure power
+        management on disks whose mode never armed one.
+        """
+        if self.auto_sleep_after is None:
+            raise ValueError(f"{self.name}: no idle timer to adjust")
+        if seconds < 0:
+            raise ValueError(f"idle threshold must be >= 0, got {seconds!r}")
+        self.auto_sleep_after = float(seconds)
+
     def set_slowdown(self, factor: float) -> None:
         """Degrade (or restore) the drive: service times scale by *factor*.
 
@@ -542,9 +557,11 @@ class SimDisk:
     def _idle_watchdog(self) -> Generator[Event, Any, None]:
         """Built-in idle timer (policy fallback without application hints)."""
         sim = self.sim
-        auto_sleep_after = self.auto_sleep_after
-        assert auto_sleep_after is not None  # watchdog only started when set
         while True:
+            # Re-read each idle period: set_idle_threshold may retune the
+            # timer mid-run (the online controller's knob).
+            auto_sleep_after = self.auto_sleep_after
+            assert auto_sleep_after is not None  # watchdog only started when set
             if self.state is DiskState.IDLE and self.inflight == 0:
                 self._watchdog_timing = True
                 try:

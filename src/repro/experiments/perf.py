@@ -1,13 +1,15 @@
 """Tracked performance benchmarks: engine throughput and fan-out speedup.
 
-:func:`run_perf_benchmark` measures three things and writes them to
-``BENCH_perf.json`` (schema ``eevfs-bench-perf/2``) so regressions show
+:func:`run_perf_benchmark` measures four things and writes them to
+``BENCH_perf.json`` (schema ``eevfs-bench-perf/3``) so regressions show
 up as a diff rather than an anecdote:
 
 * **engine** -- raw event-loop throughput (events/second) on a synthetic
   stress mix of timeouts, processes and resource contention;
 * **single_run** -- wall-clock and runs/second for one full EEVFS run at
   the configured trace length;
+* **online_run** -- the same single run in ``online_mode``, so the
+  estimator/controller/replanner overhead is tracked explicitly;
 * **parallel** -- the same job batch executed with ``jobs=1`` and
   ``jobs=N``, the observed speedup, and a strict equality check that the
   two executions produced identical metrics.
@@ -21,7 +23,8 @@ compact entry (headline numbers + wall-clock timestamp) while the
 latest full sections stay under the v1 top-level keys, so the bench
 trajectory accumulates across commits instead of being overwritten.  A
 v1 file found on disk is migrated -- its numbers become the first
-history entry.
+history entry; a v2 file's history (no online-run column yet) is
+carried forward as-is.
 """
 
 from __future__ import annotations
@@ -40,7 +43,8 @@ from repro.sim import Simulator
 from repro.traces.cache import cached_trace
 from repro.traces.synthetic import SyntheticWorkload
 
-SCHEMA = "eevfs-bench-perf/2"
+SCHEMA = "eevfs-bench-perf/3"
+SCHEMA_V2 = "eevfs-bench-perf/2"
 SCHEMA_V1 = "eevfs-bench-perf/1"
 DEFAULT_PATH = Path("BENCH_perf.json")
 #: Oldest history entries are dropped beyond this many runs.
@@ -78,6 +82,27 @@ def single_run_benchmark(n_requests: int = 1000, repeats: int = 3) -> Dict[str, 
     """Best-of-N wall clock for one full EEVFS run."""
     trace = cached_trace("synthetic", SyntheticWorkload(n_requests=n_requests), 1)
     config = EEVFSConfig()
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        run_eevfs(trace, config=config, seed=0)
+        best = min(best, time.perf_counter() - start)
+    return {
+        "n_requests": n_requests,
+        "wall_s": best,
+        "runs_per_s": 1.0 / best if best > 0 else float("inf"),
+    }
+
+
+def online_run_benchmark(n_requests: int = 1000, repeats: int = 3) -> Dict[str, Any]:
+    """Best-of-N wall clock for one full *online-mode* EEVFS run.
+
+    Tracked next to ``single_run`` so the streaming-estimator /
+    controller / replanner overhead lands in the bench history as its
+    own number instead of hiding inside an average.
+    """
+    trace = cached_trace("synthetic", SyntheticWorkload(n_requests=n_requests), 1)
+    config = EEVFSConfig(online_mode=True)
     best = float("inf")
     for _ in range(max(1, repeats)):
         start = time.perf_counter()
@@ -136,6 +161,7 @@ def _history_entry(report: Dict[str, Any]) -> Dict[str, Any]:
     """Compact headline numbers of one report, for the history list."""
     engine = report.get("engine") or {}
     single = report.get("single_run") or {}
+    online = report.get("online_run") or {}
     parallel = report.get("parallel") or {}
     return {
         "ts": report.get("ts"),
@@ -144,6 +170,8 @@ def _history_entry(report: Dict[str, Any]) -> Dict[str, Any]:
         "single_run_n_requests": single.get("n_requests"),
         "single_run_wall_s": single.get("wall_s"),
         "single_run_runs_per_s": single.get("runs_per_s"),
+        "online_run_wall_s": online.get("wall_s"),
+        "online_run_runs_per_s": online.get("runs_per_s"),
         "parallel_jobs": parallel.get("jobs"),
         "parallel_speedup": parallel.get("speedup"),
     }
@@ -152,10 +180,11 @@ def _history_entry(report: Dict[str, Any]) -> Dict[str, Any]:
 def load_history(out_path: os.PathLike) -> List[Dict[str, Any]]:
     """Prior run history from an existing report file (empty if none).
 
-    A v2 file contributes its ``history`` list; a v1 file (no history)
-    is migrated by synthesising one entry from its top-level sections.
-    An unreadable or alien file contributes nothing -- the benchmark
-    must never fail because an old artifact went stale.
+    A v3 or v2 file contributes its ``history`` list (v2 entries simply
+    lack the online-run keys); a v1 file (no history) is migrated by
+    synthesising one entry from its top-level sections.  An unreadable
+    or alien file contributes nothing -- the benchmark must never fail
+    because an old artifact went stale.
     """
     path = Path(out_path)
     if not path.exists():
@@ -167,7 +196,7 @@ def load_history(out_path: os.PathLike) -> List[Dict[str, Any]]:
     if not isinstance(previous, dict):
         return []
     schema = previous.get("schema")
-    if schema == SCHEMA:
+    if schema in (SCHEMA, SCHEMA_V2):
         history = previous.get("history")
         return list(history) if isinstance(history, list) else []
     if schema == SCHEMA_V1:
@@ -193,6 +222,7 @@ def run_perf_benchmark(
         "cpu_count": os.cpu_count(),
         "engine": engine_benchmark(),
         "single_run": single_run_benchmark(n_requests=n_requests),
+        "online_run": online_run_benchmark(n_requests=n_requests),
         "parallel": parallel_benchmark(
             n_requests=max(50, n_requests // 2), jobs=jobs
         ),
@@ -213,6 +243,7 @@ def validate_report(report: Dict[str, Any]) -> List[str]:
     for section, keys in (
         ("engine", ("events", "wall_s", "events_per_s")),
         ("single_run", ("n_requests", "wall_s", "runs_per_s")),
+        ("online_run", ("n_requests", "wall_s", "runs_per_s")),
         ("parallel", ("jobs", "serial_s", "parallel_s", "speedup", "identical_metrics")),
     ):
         body = report.get(section)
@@ -237,14 +268,23 @@ def render_report(report: Dict[str, Any]) -> str:
     """Human-readable one-screen summary of a perf report."""
     engine = report["engine"]
     single = report["single_run"]
+    online = report["online_run"]
     parallel = report["parallel"]
     history = report.get("history", [])
+    overhead_pct = (
+        100.0 * (online["wall_s"] - single["wall_s"]) / single["wall_s"]
+        if single["wall_s"] > 0
+        else 0.0
+    )
     return "\n".join(
         [
             f"engine      {engine['events_per_s']:,.0f} events/s "
             f"({engine['events']:,} events in {engine['wall_s']:.2f} s)",
             f"single run  {single['wall_s']:.3f} s at {single['n_requests']} "
             f"requests ({single['runs_per_s']:.2f} runs/s)",
+            f"online run  {online['wall_s']:.3f} s at {online['n_requests']} "
+            f"requests ({online['runs_per_s']:.2f} runs/s; "
+            f"{overhead_pct:+.1f}% vs oracle single run)",
             f"parallel    {parallel['speedup']:.2f}x with jobs={parallel['jobs']} "
             f"over {parallel['n_jobs_in_batch']} jobs "
             f"(serial {parallel['serial_s']:.2f} s -> "

@@ -20,6 +20,8 @@ from repro.metrics.report import (
     format_series,
     format_table,
     metaplane_table,
+    online_series,
+    online_table,
     summary_table,
 )
 from repro.metrics.wear import wear_report, WearReport
@@ -37,6 +39,8 @@ __all__ = [
     "format_table",
     "grouped_bar_chart",
     "metaplane_table",
+    "online_series",
+    "online_table",
     "state_time_breakdown",
     "summary_table",
     "wear_report",

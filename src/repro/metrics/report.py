@@ -144,6 +144,80 @@ def metaplane_table(
     )
 
 
+def online_table(
+    results: "Dict[str, RunResult]",
+    title: Optional[str] = None,
+) -> str:
+    """One row per named run: online-controller activity.
+
+    Runs without online mode (``result.online is None``) render dashes
+    in the controller columns, so an oracle run lines up against its
+    online counterpart in the ablation output.
+    """
+    rows = []
+    for name, result in results.items():
+        stats = result.online
+        if stats is None:
+            shape: Sequence[object] = ["-"] * 7
+        else:
+            shape = [
+                stats.estimator,
+                f"{stats.k_initial}->{stats.k_final}",
+                f"{stats.idle_initial_s:g}->{stats.idle_final_s:g}",
+                stats.control_ticks,
+                stats.replans_triggered,
+                stats.replans_skipped,
+                stats.max_drift,
+            ]
+        rows.append(
+            [
+                name,
+                *shape,
+                result.buffer_hit_rate,
+                result.energy_j,
+                result.mean_response_s,
+            ]
+        )
+    return format_table(
+        [
+            "system",
+            "estimator",
+            "K",
+            "idle_s",
+            "ticks",
+            "replans",
+            "skipped",
+            "max_drift",
+            "hit_rate",
+            "energy_j",
+            "resp_s",
+        ],
+        rows,
+        title=title,
+    )
+
+
+def online_series(result: "RunResult", title: Optional[str] = None) -> str:
+    """The controller's hit-ratio/K/idle-threshold trajectory over time."""
+    stats = result.online
+    if stats is None:
+        raise ValueError("run has no online stats (config.online_mode off?)")
+    samples = stats.history
+    return format_series(
+        "time_s",
+        [s.time_s for s in samples],
+        {
+            "hit_ratio": [
+                (0.0 if s.hit_ratio is None else s.hit_ratio) for s in samples
+            ],
+            "spinups/disk/min": [s.spinup_rate for s in samples],
+            "K": [s.k for s in samples],
+            "idle_s": [s.idle_threshold_s for s in samples],
+        },
+        title=title,
+    )
+
+
 def format_series(
     x_label: str,
     x_values: Sequence[object],

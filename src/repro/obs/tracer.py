@@ -53,6 +53,9 @@ SPAN_KINDS = (
     "meta.election",
     "meta.heartbeat",
     "client.retry",
+    "online.estimate",
+    "online.control",
+    "online.replan",
 )
 
 

@@ -1,0 +1,227 @@
+"""The adaptive online controller (one sim process per cluster).
+
+Without the oracle there is nothing to tell the system the right
+prefetch depth or idle threshold, so online mode closes the loop on
+its own measurements instead.  Every ``online_control_interval_s`` of
+simulated time the controller:
+
+* computes the buffer-hit ratio over the *window just ended* (deltas of
+  the nodes' hit counters, not lifetime totals) and steps prefetch-K by
+  ``online_k_step`` toward the ``online_target_hit_ratio`` set-point --
+  only when the ratio falls outside the ``+/- online_hysteresis``
+  dead-band, so the controller does not chatter around the target;
+* computes the per-data-disk spin-up rate over the window and steps
+  the disks' built-in idle timers: spinning up too often means the
+  timer is too eager (raise it), while a quiet window with the hit
+  target met means it can afford to sleep sooner (lower it).  Applied
+  thresholds are clamped to the configured band and lower-bounded by
+  each drive's break-even time (sleeping shorter would cost energy).
+
+The adjusted K is consumed by :class:`~repro.online.replan.ReplanLoop`
+at its next epoch; thresholds act on the drives directly via
+:meth:`~repro.disk.drive.SimDisk.set_idle_threshold`.  Every tick is
+recorded as a plain-data :class:`ControlSample` (the hit-ratio/K time
+series in reports) and traced as an ``online.control`` instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, List, Optional, TYPE_CHECKING
+
+from repro.core.config import EEVFSConfig
+from repro.core.prediction import effective_threshold
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+
+if TYPE_CHECKING:
+    from repro.core.node import StorageNode
+
+
+@dataclass(frozen=True)
+class ControlSample:
+    """One controller tick: what it saw and what it set."""
+
+    time_s: float
+    hit_ratio: Optional[float]
+    spinup_rate: float
+    k: int
+    idle_threshold_s: float
+
+
+@dataclass
+class OnlineStats:
+    """Plain-data summary of an online run's control/replan activity.
+
+    Rides :class:`~repro.core.filesystem.RunResult` (picklable across
+    the repro.parallel process boundary, like every other stats block).
+    """
+
+    estimator: str
+    k_initial: int
+    k_final: int
+    idle_initial_s: float
+    idle_final_s: float
+    control_ticks: int = 0
+    k_raises: int = 0
+    k_cuts: int = 0
+    idle_raises: int = 0
+    idle_cuts: int = 0
+    replan_epochs: int = 0
+    replans_triggered: int = 0
+    replans_skipped: int = 0
+    max_drift: float = 0.0
+    #: Accesses the streaming estimator ingested (set at run end).
+    samples_recorded: int = 0
+    history: List[ControlSample] = field(default_factory=list)
+
+
+class OnlineController:
+    """Feedback controller for prefetch-K and the disk idle threshold."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nodes: "List[StorageNode]",
+        config: EEVFSConfig,
+    ) -> None:
+        self.sim = sim
+        self.nodes = nodes
+        self.config = config
+        self.k = min(
+            max(config.prefetch_files, config.online_k_min), config.online_k_max
+        )
+        self.idle_threshold_s = min(
+            max(config.idle_threshold_s, config.online_idle_min_s),
+            config.online_idle_max_s,
+        )
+        self.stats = OnlineStats(
+            estimator=config.online_estimator,
+            k_initial=self.k,
+            k_final=self.k,
+            idle_initial_s=self.idle_threshold_s,
+            idle_final_s=self.idle_threshold_s,
+        )
+        self._last_buffer_hits = 0
+        self._last_data_hits = 0
+        self._last_spinups = 0
+
+    # -- observation helpers -------------------------------------------------------
+
+    def _data_disks(self) -> List[Any]:
+        return [disk for node in self.nodes for disk in node.data_disks]
+
+    def _counters(self) -> tuple[int, int, int]:
+        buffer_hits = sum(node.buffer_hits for node in self.nodes)
+        data_hits = sum(node.data_disk_hits for node in self.nodes)
+        spinups = sum(disk.meter.spinup_count for disk in self._data_disks())
+        return buffer_hits, data_hits, spinups
+
+    # -- the control loop ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the loop (called at the trace epoch: ticks are workload-relative)."""
+        self._last_buffer_hits, self._last_data_hits, self._last_spinups = (
+            self._counters()
+        )
+        self.sim.process(self._loop())
+
+    def _loop(self) -> Generator[Event, Any, None]:
+        config = self.config
+        interval = config.online_control_interval_s
+        while True:
+            yield self.sim.timeout(interval)
+            buffer_hits, data_hits, spinups = self._counters()
+            window_hits = buffer_hits - self._last_buffer_hits
+            window_served = window_hits + (data_hits - self._last_data_hits)
+            window_spinups = spinups - self._last_spinups
+            self._last_buffer_hits = buffer_hits
+            self._last_data_hits = data_hits
+            self._last_spinups = spinups
+
+            hit_ratio = window_hits / window_served if window_served else None
+            n_disks = max(1, len(self._data_disks()))
+            spinup_rate = window_spinups / n_disks / (interval / 60.0)
+
+            self._adjust_k(hit_ratio)
+            self._adjust_idle_threshold(hit_ratio, spinup_rate)
+
+            self.stats.control_ticks += 1
+            self.stats.k_final = self.k
+            self.stats.idle_final_s = self.idle_threshold_s
+            self.stats.history.append(
+                ControlSample(
+                    time_s=self.sim.now,
+                    hit_ratio=hit_ratio,
+                    spinup_rate=spinup_rate,
+                    k=self.k,
+                    idle_threshold_s=self.idle_threshold_s,
+                )
+            )
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.instant(
+                    "online.control",
+                    "online",
+                    k=self.k,
+                    idle_threshold_s=self.idle_threshold_s,
+                    hit_ratio=hit_ratio,
+                    spinup_rate=spinup_rate,
+                )
+
+    def _adjust_k(self, hit_ratio: Optional[float]) -> None:
+        """Step K toward the hit-ratio set-point, inside the dead-band."""
+        if hit_ratio is None:
+            return  # idle window: no evidence either way
+        config = self.config
+        if hit_ratio < config.online_target_hit_ratio - config.online_hysteresis:
+            new_k = min(config.online_k_max, self.k + config.online_k_step)
+            if new_k != self.k:
+                self.k = new_k
+                self.stats.k_raises += 1
+        elif hit_ratio > config.online_target_hit_ratio + config.online_hysteresis:
+            new_k = max(config.online_k_min, self.k - config.online_k_step)
+            if new_k != self.k:
+                self.k = new_k
+                self.stats.k_cuts += 1
+
+    def _adjust_idle_threshold(
+        self, hit_ratio: Optional[float], spinup_rate: float
+    ) -> None:
+        """Step the idle timers from the observed spin-up churn."""
+        config = self.config
+        if spinup_rate > config.online_spinup_rate_max:
+            target = min(
+                config.online_idle_max_s,
+                self.idle_threshold_s + config.online_idle_step_s,
+            )
+            if target != self.idle_threshold_s:
+                self.idle_threshold_s = target
+                self.stats.idle_raises += 1
+                self._apply_idle_threshold()
+        elif (
+            spinup_rate == 0.0
+            and hit_ratio is not None
+            and hit_ratio >= config.online_target_hit_ratio
+        ):
+            target = max(
+                config.online_idle_min_s,
+                self.idle_threshold_s - config.online_idle_step_s,
+            )
+            if target != self.idle_threshold_s:
+                self.idle_threshold_s = target
+                self.stats.idle_cuts += 1
+                self._apply_idle_threshold()
+
+    def _apply_idle_threshold(self) -> None:
+        for node in self.nodes:
+            for disk in node.data_disks:
+                if disk.auto_sleep_after is None:
+                    continue  # not power-managed in this mode
+                disk.set_idle_threshold(
+                    effective_threshold(disk.spec, self.idle_threshold_s)
+                )
+
+    def snapshot(self) -> OnlineStats:
+        """The run's control history (plain data, picklable)."""
+        return self.stats

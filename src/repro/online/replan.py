@@ -1,0 +1,112 @@
+"""Drift-triggered re-prefetching (online mode's epoch loop).
+
+The oracle prefetches once, at setup, because it already knows the
+whole trace.  Online mode starts with *empty* buffer disks and learns:
+every ``online_replan_epoch_s`` of simulated time the replanner
+
+1. ranks the streaming estimator's current view over the catalog
+   (traced as ``online.estimate``),
+2. takes the top-K at the controller's *current* adaptive K,
+3. measures drift -- the fraction of that top-K not covered by the
+   plan the buffers currently hold -- and,
+4. when drift reaches ``online_drift_threshold`` (or the buffers were
+   never populated), pushes a replacement plan through the existing
+   prefetch path: ``PrefetchCommand(replace=True)`` per node, which
+   copies newly wanted files and unmarks no-longer-wanted ones
+   (traced as ``online.replan``).
+
+The drift gate is what makes this cheaper than blind periodic
+re-prefetching: a stable workload converges after one or two epochs and
+then stops moving data entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Set, TYPE_CHECKING
+
+from repro.core.config import EEVFSConfig
+from repro.core.prefetch import plan_prefetch
+from repro.core.protocol import PrefetchCommand
+from repro.online.controller import OnlineController
+from repro.online.estimators import OnlineEstimator
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+
+if TYPE_CHECKING:
+    from repro.core.server import StorageServer
+
+
+class ReplanLoop:
+    """Epoch-based top-K diffing against the current buffer plan."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: "StorageServer",
+        estimator: OnlineEstimator,
+        controller: OnlineController,
+        config: EEVFSConfig,
+    ) -> None:
+        self.sim = sim
+        self.server = server
+        self.estimator = estimator
+        self.controller = controller
+        self.config = config
+        #: Files the buffer disks were last told to hold (empty until
+        #: the first replan -- online mode starts cold).
+        self._planned: Set[int] = set()
+
+    def start(self) -> None:
+        """Arm the loop (called at the trace epoch)."""
+        self.sim.process(self._loop())
+
+    def drift_fraction(self, top: list[int]) -> float:
+        """Share of the wanted top-K the current plan does not hold."""
+        if not top:
+            return 0.0
+        missing = sum(1 for fid in top if fid not in self._planned)
+        return missing / len(top)
+
+    def _loop(self) -> Generator[Event, Any, None]:
+        stats = self.controller.stats
+        while True:
+            yield self.sim.timeout(self.config.online_replan_epoch_s)
+            stats.replan_epochs += 1
+            if self.estimator.recorded == 0:
+                stats.replans_skipped += 1
+                continue  # nothing observed yet: keep the buffers cold
+
+            tracer = self.sim.tracer
+            estimate_span = (
+                tracer.begin("online.estimate", "online", estimator=stats.estimator)
+                if tracer is not None
+                else None
+            )
+            ranking = self.estimator.ranking(self.server.catalog)
+            if estimate_span is not None and tracer is not None:
+                tracer.end(estimate_span, observed=self.estimator.recorded)
+
+            k = self.controller.k
+            top = ranking[:k]
+            drift = self.drift_fraction(top)
+            stats.max_drift = max(stats.max_drift, drift)
+            first_plan = not self._planned and bool(top)
+            if not first_plan and drift < self.config.online_drift_threshold:
+                stats.replans_skipped += 1
+                continue
+
+            plan = plan_prefetch(ranking, k, self.server.placement)
+            for node in self.server.node_names:
+                self.server.fabric.send(
+                    self.server.name,
+                    node,
+                    PrefetchCommand(
+                        file_ids=plan.files_for(node), replace=True, ack=False
+                    ),
+                )
+            self._planned = set(top)
+            stats.replans_triggered += 1
+            if tracer is not None:
+                tracer.instant(
+                    "online.replan", "online", k=k, drift=drift
+                )

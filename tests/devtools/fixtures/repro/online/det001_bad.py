@@ -1,0 +1,13 @@
+"""Known-bad fixture: raw generators inside the online package.
+
+Streaming estimators and controllers must be pure functions of the
+observed stream (or draw from the named-stream registry); an unseeded
+generator here would make the learned ranking differ run to run.
+"""
+
+import numpy as np
+
+
+def sketch_salt():
+    rng = np.random.default_rng()
+    return rng.integers(0, 2**32)

@@ -1,0 +1,15 @@
+"""Known-bad fixture: unordered iteration in the online package.
+
+Iterating a dict view or set while ranking candidates or applying
+thresholds feeds hash order into event scheduling -- exactly what
+DET003 exists to catch in repro.online.
+"""
+
+
+def rank_candidates(scores):
+    ranked = []
+    for score in scores.values():
+        ranked.append(score)
+    for fid in {1, 2, 3}:
+        ranked.append(fid)
+    return ranked

@@ -1,0 +1,1 @@
+"""Tests for repro.online: streaming estimators and the adaptive loop."""
