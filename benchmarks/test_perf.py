@@ -1,10 +1,14 @@
 """Tracked performance benchmark: writes ``BENCH_perf.json``.
 
-Runs the three perf families (engine throughput, single-run wall clock,
+Runs the six perf families (engine throughput, continuation dispatch,
+single-run and online-run wall clock, mean-field backend, and
 serial-vs-parallel speedup) at benchmark scale and persists the JSON
 report at the repository root so successive commits can diff it.  The
 assertions here are about *validity* (schema complete, parallel results
 identical to serial), never about absolute speed -- machines differ.
+The absolute-speed regression gate lives in CI against the checked-in
+floor (``benchmarks/perf_floor.json``), where the comparison is
+same-machine across commits and therefore meaningful.
 """
 
 import json
@@ -12,6 +16,7 @@ import os
 from pathlib import Path
 
 from repro.experiments.perf import (
+    check_floor,
     DEFAULT_PATH,
     HISTORY_LIMIT,
     load_history,
@@ -36,9 +41,13 @@ def test_perf_benchmark_writes_valid_report():
     assert report["schema"] == SCHEMA
     assert report["engine"]["events"] > 0
     assert report["engine"]["events_per_s"] > 0
+    assert report["dispatch"]["events_per_s"] > 0
     assert report["single_run"]["runs_per_s"] > 0
     assert report["online_run"]["runs_per_s"] > 0
+    assert report["meanfield_run"]["n_points"] > 0
+    assert report["meanfield_run"]["speedup_vs_discrete"] > 0
     assert report["parallel"]["identical_metrics"] is True
+    assert report["parallel"]["jobs_effective"] >= 1
 
     on_disk = json.loads(out.read_text())
     assert validate_report(on_disk) == []
@@ -84,3 +93,55 @@ def test_history_carries_v2_forward(tmp_path):
     report = run_perf_benchmark(n_requests=40, out_path=out)
     assert report["history"][0] == v2_entry  # v2 rows survive untouched
     assert report["history"][-1]["online_run_wall_s"] > 0
+
+
+def test_history_carries_v3_forward(tmp_path):
+    out = tmp_path / "BENCH_perf.json"
+    v3_entry = {
+        "ts": 2.0,
+        "engine_events_per_s": 11.0,
+        "online_run_wall_s": 0.2,
+        "parallel_jobs": 1,
+        "parallel_speedup": 1.03,
+    }
+    out.write_text(
+        json.dumps({"schema": "eevfs-bench-perf/3", "history": [v3_entry]})
+    )
+
+    report = run_perf_benchmark(n_requests=40, out_path=out)
+    assert report["history"][0] == v3_entry  # v3 rows survive untouched
+    latest = report["history"][-1]
+    assert latest["dispatch_events_per_s"] > 0
+    assert latest["meanfield_points_per_s"] > 0
+    assert latest["parallel_pool_available"] in (True, False)
+
+
+def test_check_floor_flags_regressions_and_missing_keys():
+    floor = {
+        "floors": {
+            "engine.events_per_s": 100,
+            "dispatch.events_per_s": 100,
+            "meanfield_run.speedup_vs_discrete": 10,
+        }
+    }
+    healthy = {
+        "engine": {"events_per_s": 500.0},
+        "dispatch": {"events_per_s": 900.0},
+        "meanfield_run": {"speedup_vs_discrete": 50.0},
+    }
+    assert check_floor(healthy, floor) == []
+
+    regressed = {
+        "engine": {"events_per_s": 5.0},  # below floor
+        "dispatch": {},  # key missing entirely
+        "meanfield_run": {"speedup_vs_discrete": 50.0},
+    }
+    problems = check_floor(regressed, floor)
+    assert any("engine.events_per_s" in p and "below floor" in p for p in problems)
+    assert any("dispatch.events_per_s missing" in p for p in problems)
+
+
+def test_checked_in_floor_passes_on_this_host():
+    floor = json.loads((_repo_root() / "benchmarks" / "perf_floor.json").read_text())
+    report = run_perf_benchmark(n_requests=60, out_path=None)
+    assert check_floor(report, floor) == []

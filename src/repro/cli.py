@@ -321,13 +321,19 @@ def _cmd_online(args: argparse.Namespace) -> None:
     )
     from repro.metrics.report import online_series, online_table
 
+    from repro.core import EEVFSConfig
+
     sweeps = args.sweeps if args.sweeps else None
+    config = (
+        EEVFSConfig(online_replan_cost_gate=True) if args.cost_gate else None
+    )
     ablation = online_ablation(
         sweeps=sweeps,
         n_requests=args.requests,
         seed=args.seed,
         jobs=args.jobs,
         estimator=args.estimator,
+        config=config,
     )
     for sweep in ablation:
         points = ablation[sweep]
@@ -445,6 +451,83 @@ def _cmd_bench(args: argparse.Namespace) -> None:
     print(render_report(report))
     if args.out:
         print(f"\nwritten to {args.out}")
+
+
+def _cmd_meanfield(args: argparse.Namespace) -> None:
+    """Closed-form Table-II sweeps, optionally validated against the sim."""
+    import json
+
+    from repro.analysis.meanfield import analyze, cross_validate
+    from repro.core import EEVFSConfig
+    from repro.experiments.sweeps import SWEEPS, _config_for, _workload_for
+
+    header = (
+        f"{'sweep':<16}{'value':>8}{'hit':>8}{'PF kJ':>10}{'NPF kJ':>10}"
+        f"{'saved':>8}{'trans':>8}{'resp s':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    rows = []
+    for sweep, (_, values) in SWEEPS.items():
+        for value in values:
+            workload = _workload_for(sweep, value, args.requests)
+            config = _config_for(sweep, value, EEVFSConfig())
+            result = analyze(workload, config=config)
+            print(
+                f"{sweep:<16}{value!s:>8}{result.hit_rate:>8.3f}"
+                f"{result.pf_energy_j / 1e3:>10.1f}"
+                f"{result.npf_energy_j / 1e3:>10.1f}"
+                f"{result.savings_fraction:>8.1%}"
+                f"{result.transitions:>8.1f}"
+                f"{result.mean_response_s:>8.3f}"
+            )
+            rows.append(
+                {
+                    "sweep": sweep,
+                    "value": value,
+                    "hit_rate": result.hit_rate,
+                    "pf_energy_j": result.pf_energy_j,
+                    "npf_energy_j": result.npf_energy_j,
+                    "savings_fraction": result.savings_fraction,
+                    "transitions": result.transitions,
+                    "mean_response_s": result.mean_response_s,
+                    "duration_s": result.duration_s,
+                }
+            )
+    payload: dict = {"schema": "eevfs-meanfield/1", "points": rows}
+    if args.validate:
+        print("\nvalidating against the discrete simulator (runs every pair)...")
+        report = cross_validate(n_requests=args.requests, seed=args.seed)
+        for p in report.points:
+            print(
+                f"{p.sweep:<16}{p.value!s:>8}"
+                f"  pf_err={p.pf_energy_error:+7.2%}"
+                f"  npf_err={p.npf_energy_error:+7.2%}"
+                f"  hit_err={p.hit_rate_error:+.3f}"
+            )
+        print(
+            f"\nmax |energy error| {report.max_energy_error:.2%}  "
+            f"speedup {report.speedup:.0f}x vs discrete"
+        )
+        payload["validation"] = {
+            "max_energy_error": report.max_energy_error,
+            "speedup": report.speedup,
+            "points": [
+                {
+                    "sweep": p.sweep,
+                    "value": p.value,
+                    "pf_energy_error": p.pf_energy_error,
+                    "npf_energy_error": p.npf_energy_error,
+                    "hit_rate_error": p.hit_rate_error,
+                }
+                for p in report.points
+            ],
+        }
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwritten to {args.json}")
 
 
 def _traced_run(args: argparse.Namespace):
@@ -701,6 +784,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the first point's controller trajectory",
     )
     online.add_argument(
+        "--cost-gate",
+        action="store_true",
+        help=(
+            "veto replans whose estimated migration energy exceeds the "
+            "projected next-epoch savings (online_replan_cost_gate)"
+        ),
+    )
+    online.add_argument(
         "--json",
         metavar="PATH",
         help="write the determinism fingerprint (canonical JSON) to PATH",
@@ -713,6 +804,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="BENCH_perf.json", help="output JSON path"
     )
     bench.set_defaults(func=_cmd_bench)
+    meanfield = sub.add_parser(
+        "meanfield",
+        help="closed-form PF/NPF estimates (no discrete simulation)",
+    )
+    meanfield.add_argument(
+        "--validate",
+        action="store_true",
+        help="also run the discrete simulator and report per-point errors",
+    )
+    meanfield.add_argument(
+        "--json", metavar="PATH", help="write the table (and validation) to PATH"
+    )
+    meanfield.set_defaults(func=_cmd_meanfield)
     tracer = sub.add_parser(
         "trace", help="traced run: export Chrome trace JSON / JSONL / CSV"
     )

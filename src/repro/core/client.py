@@ -33,6 +33,7 @@ from repro.core.protocol import (
 )
 from repro.net.fabric import Fabric
 from repro.sim.engine import Simulator
+from repro.sim.events import URGENT
 from repro.sim.monitor import TallyStat
 from repro.sim.resources import Resource
 from repro.traces.model import RequestOp, Trace
@@ -215,16 +216,16 @@ class ClientDriver:
             done = self.sim.event()
             self._waiters[request_id] = done
             self._issue(request_id, request.file_id, request.op)
-            self.sim.process(self._release_on(done, slots, slot))
+            # Release the pacing slot straight from the completion event's
+            # callback -- no watcher process needed.
+            assert done.callbacks is not None
+            done.callbacks.append(
+                lambda _e, slots=slots, slot=slot: slots.release(slot)
+            )
         self._replay_finished = True
         if self._pending:
             yield self._drained
         return self.response_times
-
-    @staticmethod
-    def _release_on(done, slots, slot):
-        yield done
-        slots.release(slot)
 
     def _replay_closed(self, trace: Trace, epoch_s: float):
         if epoch_s > self.sim.now:
@@ -256,7 +257,7 @@ class ClientDriver:
 
     def _send_attempt(self, request_id: int) -> None:
         file_id, op = self._requests[request_id]
-        self.fabric.send(
+        self.fabric.send_nowait(
             self.name,
             self.router.route(file_id),
             FileRequest(
@@ -268,12 +269,23 @@ class ClientDriver:
             ),
         )
         if self.retry.timeout_s is not None:
-            self.sim.process(self._watch(request_id, self._attempts[request_id]))
+            # Two-step continuation mirroring the schedule slots the old
+            # watcher Process used: the URGENT kick-off fires now, and the
+            # deadline timer is allocated *inside* it so its sequence
+            # number (hence its ordering against other events landing at
+            # the same future timestamp) is unchanged.
+            attempt = self._attempts[request_id]
+            self.sim.call_soon(
+                lambda _v: self.sim.call_later(
+                    self.retry.timeout_s,
+                    lambda _w: self._watch_expired(request_id, attempt),
+                ),
+                priority=URGENT,
+            )
 
-    def _watch(self, request_id: int, attempt: int):
+    def _watch_expired(self, request_id: int, attempt: int) -> None:
         """Per-attempt deadline: a silent loss (crashed or partitioned
         server eating the message) becomes a retryable failure."""
-        yield self.sim.timeout(self.retry.timeout_s)
         if request_id in self._settled:
             return
         if self._attempts.get(request_id) != attempt:
@@ -293,8 +305,16 @@ class ClientDriver:
         if attempts <= self.retry.max_retries:
             self.requests_retried += 1
             self._retry_scheduled.add(request_id)
-            self.sim.process(
-                self._retry_after(request_id, self._backoff_delay(attempts))
+            # Same two-step slot pattern as the timeout watcher (see
+            # _send_attempt): kick off URGENT, allocate the backoff timer
+            # inside the kick-off so its sequence number matches the old
+            # Process path exactly.
+            delay = self._backoff_delay(attempts)
+            self.sim.call_soon(
+                lambda _v: self.sim.call_later(
+                    delay, lambda _w: self._retry_fire(request_id)
+                ),
+                priority=URGENT,
             )
         else:
             self.requests_abandoned += 1
@@ -313,8 +333,7 @@ class ClientDriver:
             delay *= 1.0 + self.retry.jitter * (2.0 * float(self.rng.random()) - 1.0)
         return delay
 
-    def _retry_after(self, request_id: int, delay: float):
-        yield self.sim.timeout(delay)
+    def _retry_fire(self, request_id: int) -> None:
         self._retry_scheduled.discard(request_id)
         if request_id in self._settled:
             return  # a slow earlier attempt answered during the backoff

@@ -301,6 +301,14 @@ class EEVFSConfig:
     #: the buffer contents through the normal prefetch path.
     online_replan_epoch_s: float = 60.0
     online_drift_threshold: float = 0.1
+    #: Additionally gate replans on economics: skip when the estimated
+    #: migration energy (copying the newly wanted files into the buffer
+    #: tier) exceeds the projected savings over the next epoch, even if
+    #: the drift threshold was reached.  Fixes the saturation-regime
+    #: over-replanning (large files make every replan expensive while a
+    #: throttled client generates few hits to pay for it).  Off by
+    #: default to keep existing online fingerprints byte-stable.
+    online_replan_cost_gate: bool = False
     #: Include the storage server's energy in reports (the paper measures
     #: the storage nodes only).
     account_server_energy: bool = False

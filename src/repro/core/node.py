@@ -218,7 +218,7 @@ class StorageNode:
             request = payload.request
             if payload.failover:
                 self.requests_failed_over += 1
-                self.fabric.send(
+                self.fabric.send_nowait(
                     self.spec.name,
                     payload.failover[0],
                     ForwardedRequest(
@@ -227,7 +227,7 @@ class StorageNode:
                 )
             else:
                 self.requests_failed += 1
-                self.fabric.send(
+                self.fabric.send_nowait(
                     self.spec.name,
                     request.client,
                     RequestFailed(
@@ -237,13 +237,13 @@ class StorageNode:
                     ),
                 )
         elif isinstance(payload, ReplicaPull):
-            self.fabric.send(
+            self.fabric.send_nowait(
                 self.spec.name,
                 payload.requester,
                 ReplicaData(file_id=payload.file_id, size_bytes=0, ok=False),
             )
         elif isinstance(payload, RepairCommand):
-            self.fabric.send(
+            self.fabric.send_nowait(
                 self.spec.name,
                 self.server_name,
                 RepairComplete(

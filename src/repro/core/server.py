@@ -300,7 +300,7 @@ class StorageServer:
             plan = plan_prefetch(ranking, self.config.prefetch_files, self.placement)
             self.reprefetch_rounds += 1
             for node in self.node_names:
-                self.fabric.send(
+                self.fabric.send_nowait(
                     self.name,
                     node,
                     PrefetchCommand(
@@ -339,7 +339,7 @@ class StorageServer:
                     # Every holder is down: fail fast rather than strand
                     # the client waiting on a crashed node.
                     self.requests_unroutable += 1
-                    self.fabric.send(
+                    self.fabric.send_nowait(
                         self.name,
                         payload.client,
                         RequestFailed(
@@ -352,7 +352,7 @@ class StorageServer:
                         tracer.end(lookup, routed=False)
                     continue
                 primary, backups = holders[0], tuple(holders[1:])
-                self.fabric.send(
+                self.fabric.send_nowait(
                     self.name,
                     primary,
                     ForwardedRequest(request=payload, failover=backups),
@@ -368,7 +368,7 @@ class StorageServer:
                     and backups
                 ):
                     for holder in backups:
-                        self.fabric.send(
+                        self.fabric.send_nowait(
                             self.name,
                             holder,
                             ForwardedRequest(request=payload, silent=True),

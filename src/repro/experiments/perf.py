@@ -1,30 +1,40 @@
 """Tracked performance benchmarks: engine throughput and fan-out speedup.
 
-:func:`run_perf_benchmark` measures four things and writes them to
-``BENCH_perf.json`` (schema ``eevfs-bench-perf/3``) so regressions show
+:func:`run_perf_benchmark` measures six things and writes them to
+``BENCH_perf.json`` (schema ``eevfs-bench-perf/4``) so regressions show
 up as a diff rather than an anecdote:
 
-* **engine** -- raw event-loop throughput (events/second) on a synthetic
-  stress mix of timeouts, processes and resource contention;
+* **engine** -- event-loop throughput (events/second) on a synthetic
+  stress mix of generator processes and resource contention;
+* **dispatch** -- throughput of the flat continuation hot path alone
+  (``call_soon``/``call_later`` chains, no generator frames), which is
+  what the converted request path actually exercises;
 * **single_run** -- wall-clock and runs/second for one full EEVFS run at
   the configured trace length;
 * **online_run** -- the same single run in ``online_mode``, so the
   estimator/controller/replanner overhead is tracked explicitly;
-* **parallel** -- the same job batch executed with ``jobs=1`` and
-  ``jobs=N``, the observed speedup, and a strict equality check that the
-  two executions produced identical metrics.
+* **meanfield_run** -- the closed-form backend over all Table-II sweep
+  points, plus its implied speedup over one discrete run;
+* **parallel** -- the same job batch executed with ``jobs=1`` and a real
+  multi-worker pool, the observed speedup, and a strict equality check
+  that the two executions produced identical metrics.
 
 Numbers are machine-dependent; the JSON records the host's CPU count so
 results are comparable across commits on the same machine, not across
 machines.
 
-Schema v2 adds a ``history`` list: each benchmark invocation appends a
+Schema v2 added a ``history`` list: each benchmark invocation appends a
 compact entry (headline numbers + wall-clock timestamp) while the
 latest full sections stay under the v1 top-level keys, so the bench
-trajectory accumulates across commits instead of being overwritten.  A
-v1 file found on disk is migrated -- its numbers become the first
-history entry; a v2 file's history (no online-run column yet) is
-carried forward as-is.
+trajectory accumulates across commits instead of being overwritten.
+Schema v4 adds the ``dispatch`` and ``meanfield_run`` families and makes
+the parallel section honest about worker counts: it records the
+*requested* and *effective* job counts and whether a process pool could
+actually start (the previous schema silently benchmarked the serial
+fallback on one-CPU hosts and reported its ~1.0x as a "speedup").
+Histories from v2/v3 files are carried forward as-is (old entries simply
+lack the new columns); a v1 file (no history) is migrated by
+synthesising one entry from its top-level sections.
 """
 
 from __future__ import annotations
@@ -43,7 +53,8 @@ from repro.sim import Simulator
 from repro.traces.cache import cached_trace
 from repro.traces.synthetic import SyntheticWorkload
 
-SCHEMA = "eevfs-bench-perf/3"
+SCHEMA = "eevfs-bench-perf/4"
+SCHEMA_V3 = "eevfs-bench-perf/3"
 SCHEMA_V2 = "eevfs-bench-perf/2"
 SCHEMA_V1 = "eevfs-bench-perf/1"
 DEFAULT_PATH = Path("BENCH_perf.json")
@@ -69,6 +80,40 @@ def engine_benchmark(horizon_s: float = 4000.0, n_procs: int = 64) -> Dict[str, 
         sim.process(worker(0.25 + (i % 7) * 0.125))
     start = time.perf_counter()
     sim.run(until=horizon_s)
+    wall_s = time.perf_counter() - start
+    events = sim.events_processed
+    return {
+        "events": events,
+        "wall_s": wall_s,
+        "events_per_s": events / wall_s if wall_s > 0 else float("inf"),
+    }
+
+
+def dispatch_benchmark(n_events: int = 400_000, n_chains: int = 64) -> Dict[str, Any]:
+    """Throughput of the continuation hot path (no generator frames).
+
+    ``n_chains`` self-rescheduling callbacks alternate zero-delay
+    ``call_soon`` hops with ``call_later`` timer hops until ``n_events``
+    continuations have fired -- the same lane/heap mix the converted
+    request path drives.
+    """
+    sim = Simulator()
+    remaining = n_events
+
+    def hop(value: object) -> None:
+        nonlocal remaining
+        if remaining <= 0:
+            return
+        remaining -= 1
+        if remaining % 4 == 0:
+            sim.call_later(0.001, hop)
+        else:
+            sim.call_soon(hop)
+
+    for _ in range(n_chains):
+        sim.call_soon(hop)
+    start = time.perf_counter()
+    sim.run()
     wall_s = time.perf_counter() - start
     events = sim.events_processed
     return {
@@ -130,26 +175,50 @@ def _comparison_fingerprint(comparisons: List[Any]) -> List[tuple]:
     ]
 
 
+def _pool_available(workers: int = 2) -> bool:
+    """True if a process pool can actually start and run a task here."""
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return pool.submit(abs, -1).result(timeout=60) == 1
+    except Exception:
+        return False
+
+
 def parallel_benchmark(
     n_requests: int = 200, jobs: Optional[int] = None
 ) -> Dict[str, Any]:
-    """Serial vs parallel execution of one sweep's job batch."""
-    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    """Serial vs parallel execution of one sweep's job batch.
+
+    ``jobs=None`` picks ``max(2, cpu_count)`` workers so the parallel leg
+    exercises a real process pool even on one-CPU hosts -- previously it
+    inherited ``default_jobs()`` (one per CPU), which on such hosts meant
+    both legs ran the serial path and the reported "speedup" was noise.
+    The report says what actually happened: the requested and effective
+    worker counts and whether a pool could start at all (``run_jobs``
+    degrades to inline execution when it cannot).
+    """
+    jobs_effective = max(2, default_jobs()) if jobs is None else max(1, int(jobs))
     _, _, specs = sweep_specs("mu", n_requests=n_requests)
+    jobs_effective = min(jobs_effective, len(specs))
+    pool_available = jobs_effective > 1 and _pool_available()
 
     start = time.perf_counter()
     serial = run_jobs(specs, jobs=1)
     serial_s = time.perf_counter() - start
 
     start = time.perf_counter()
-    parallel = run_jobs(specs, jobs=jobs)
+    parallel = run_jobs(specs, jobs=jobs_effective)
     parallel_s = time.perf_counter() - start
 
     identical = _comparison_fingerprint(serial) == _comparison_fingerprint(parallel)
     return {
         "n_jobs_in_batch": len(specs),
         "n_requests": n_requests,
-        "jobs": jobs,
+        "jobs_requested": jobs,
+        "jobs_effective": jobs_effective,
+        "pool_available": pool_available,
         "serial_s": serial_s,
         "parallel_s": parallel_s,
         "speedup": serial_s / parallel_s if parallel_s > 0 else float("inf"),
@@ -157,22 +226,66 @@ def parallel_benchmark(
     }
 
 
+def meanfield_run_benchmark(n_requests: int = 1000) -> Dict[str, Any]:
+    """Closed-form backend over every Table-II sweep point.
+
+    Also measures one discrete run at the same trace length so the file
+    records the backend's implied per-point speedup on this host.
+    """
+    from repro.analysis.meanfield import analyze
+    from repro.experiments.sweeps import SWEEPS, _config_for, _workload_for
+
+    points = [
+        (sweep, value)
+        for sweep, (_, values) in SWEEPS.items()
+        for value in values
+    ]
+    start = time.perf_counter()
+    for sweep, value in points:
+        workload = _workload_for(sweep, value, n_requests)
+        analyze(workload, config=_config_for(sweep, value, EEVFSConfig()))
+    wall_s = time.perf_counter() - start
+
+    trace = cached_trace("synthetic", SyntheticWorkload(n_requests=n_requests), 1)
+    start = time.perf_counter()
+    run_eevfs(trace, config=EEVFSConfig(), seed=0)
+    discrete_wall_s = time.perf_counter() - start
+
+    per_point_s = wall_s / len(points) if points else 0.0
+    return {
+        "n_points": len(points),
+        "n_requests": n_requests,
+        "wall_s": wall_s,
+        "points_per_s": len(points) / wall_s if wall_s > 0 else float("inf"),
+        "discrete_run_wall_s": discrete_wall_s,
+        "speedup_vs_discrete": (
+            discrete_wall_s / per_point_s if per_point_s > 0 else float("inf")
+        ),
+    }
+
+
 def _history_entry(report: Dict[str, Any]) -> Dict[str, Any]:
     """Compact headline numbers of one report, for the history list."""
     engine = report.get("engine") or {}
+    dispatch = report.get("dispatch") or {}
     single = report.get("single_run") or {}
     online = report.get("online_run") or {}
+    meanfield = report.get("meanfield_run") or {}
     parallel = report.get("parallel") or {}
     return {
         "ts": report.get("ts"),
         "cpu_count": report.get("cpu_count"),
         "engine_events_per_s": engine.get("events_per_s"),
+        "dispatch_events_per_s": dispatch.get("events_per_s"),
         "single_run_n_requests": single.get("n_requests"),
         "single_run_wall_s": single.get("wall_s"),
         "single_run_runs_per_s": single.get("runs_per_s"),
         "online_run_wall_s": online.get("wall_s"),
         "online_run_runs_per_s": online.get("runs_per_s"),
-        "parallel_jobs": parallel.get("jobs"),
+        "meanfield_points_per_s": meanfield.get("points_per_s"),
+        "meanfield_speedup_vs_discrete": meanfield.get("speedup_vs_discrete"),
+        "parallel_jobs": parallel.get("jobs_effective", parallel.get("jobs")),
+        "parallel_pool_available": parallel.get("pool_available"),
         "parallel_speedup": parallel.get("speedup"),
     }
 
@@ -180,11 +293,11 @@ def _history_entry(report: Dict[str, Any]) -> Dict[str, Any]:
 def load_history(out_path: os.PathLike) -> List[Dict[str, Any]]:
     """Prior run history from an existing report file (empty if none).
 
-    A v3 or v2 file contributes its ``history`` list (v2 entries simply
-    lack the online-run keys); a v1 file (no history) is migrated by
-    synthesising one entry from its top-level sections.  An unreadable
-    or alien file contributes nothing -- the benchmark must never fail
-    because an old artifact went stale.
+    A v4, v3 or v2 file contributes its ``history`` list (older entries
+    simply lack the newer columns); a v1 file (no history) is migrated
+    by synthesising one entry from its top-level sections.  An
+    unreadable or alien file contributes nothing -- the benchmark must
+    never fail because an old artifact went stale.
     """
     path = Path(out_path)
     if not path.exists():
@@ -196,7 +309,7 @@ def load_history(out_path: os.PathLike) -> List[Dict[str, Any]]:
     if not isinstance(previous, dict):
         return []
     schema = previous.get("schema")
-    if schema in (SCHEMA, SCHEMA_V2):
+    if schema in (SCHEMA, SCHEMA_V3, SCHEMA_V2):
         history = previous.get("history")
         return list(history) if isinstance(history, list) else []
     if schema == SCHEMA_V1:
@@ -209,7 +322,7 @@ def run_perf_benchmark(
     jobs: Optional[int] = None,
     out_path: Optional[os.PathLike] = DEFAULT_PATH,
 ) -> Dict[str, Any]:
-    """Run all three benchmark families; optionally write the JSON file.
+    """Run all six benchmark families; optionally write the JSON file.
 
     When *out_path* already holds a previous report, its run history is
     carried forward and this run is appended -- the file accumulates the
@@ -221,8 +334,10 @@ def run_perf_benchmark(
         "ts": time.time(),
         "cpu_count": os.cpu_count(),
         "engine": engine_benchmark(),
+        "dispatch": dispatch_benchmark(),
         "single_run": single_run_benchmark(n_requests=n_requests),
         "online_run": online_run_benchmark(n_requests=n_requests),
+        "meanfield_run": meanfield_run_benchmark(),
         "parallel": parallel_benchmark(
             n_requests=max(50, n_requests // 2), jobs=jobs
         ),
@@ -242,9 +357,24 @@ def validate_report(report: Dict[str, Any]) -> List[str]:
         problems.append(f"schema is {report.get('schema')!r}, expected {SCHEMA!r}")
     for section, keys in (
         ("engine", ("events", "wall_s", "events_per_s")),
+        ("dispatch", ("events", "wall_s", "events_per_s")),
         ("single_run", ("n_requests", "wall_s", "runs_per_s")),
         ("online_run", ("n_requests", "wall_s", "runs_per_s")),
-        ("parallel", ("jobs", "serial_s", "parallel_s", "speedup", "identical_metrics")),
+        (
+            "meanfield_run",
+            ("n_points", "wall_s", "points_per_s", "speedup_vs_discrete"),
+        ),
+        (
+            "parallel",
+            (
+                "jobs_effective",
+                "pool_available",
+                "serial_s",
+                "parallel_s",
+                "speedup",
+                "identical_metrics",
+            ),
+        ),
     ):
         body = report.get(section)
         if not isinstance(body, dict):
@@ -264,11 +394,33 @@ def validate_report(report: Dict[str, Any]) -> List[str]:
     return problems
 
 
+def check_floor(report: Dict[str, Any], floor: Dict[str, Any]) -> List[str]:
+    """Compare a report against a checked-in performance floor.
+
+    *floor* maps dotted section keys (``"engine.events_per_s"``) to the
+    minimum acceptable value.  Returns violations (empty = pass).  The
+    floors are deliberately conservative -- they catch order-of-magnitude
+    regressions (an accidental re-serialisation of the hot path), not
+    run-to-run jitter.
+    """
+    problems: List[str] = []
+    for dotted, minimum in floor.get("floors", {}).items():
+        section, _, key = dotted.partition(".")
+        value = (report.get(section) or {}).get(key)
+        if not isinstance(value, (int, float)):
+            problems.append(f"{dotted} missing from report")
+        elif value < minimum:
+            problems.append(f"{dotted} = {value:,.0f} below floor {minimum:,.0f}")
+    return problems
+
+
 def render_report(report: Dict[str, Any]) -> str:
     """Human-readable one-screen summary of a perf report."""
     engine = report["engine"]
+    dispatch = report["dispatch"]
     single = report["single_run"]
     online = report["online_run"]
+    meanfield = report["meanfield_run"]
     parallel = report["parallel"]
     history = report.get("history", [])
     overhead_pct = (
@@ -276,20 +428,27 @@ def render_report(report: Dict[str, Any]) -> str:
         if single["wall_s"] > 0
         else 0.0
     )
+    pool_note = "" if parallel["pool_available"] else " [no process pool: serial fallback]"
     return "\n".join(
         [
             f"engine      {engine['events_per_s']:,.0f} events/s "
             f"({engine['events']:,} events in {engine['wall_s']:.2f} s)",
+            f"dispatch    {dispatch['events_per_s']:,.0f} events/s "
+            f"({dispatch['events']:,} continuations in {dispatch['wall_s']:.2f} s)",
             f"single run  {single['wall_s']:.3f} s at {single['n_requests']} "
             f"requests ({single['runs_per_s']:.2f} runs/s)",
             f"online run  {online['wall_s']:.3f} s at {online['n_requests']} "
             f"requests ({online['runs_per_s']:.2f} runs/s; "
             f"{overhead_pct:+.1f}% vs oracle single run)",
-            f"parallel    {parallel['speedup']:.2f}x with jobs={parallel['jobs']} "
-            f"over {parallel['n_jobs_in_batch']} jobs "
+            f"mean-field  {meanfield['n_points']} points in "
+            f"{meanfield['wall_s']:.3f} s ({meanfield['points_per_s']:.0f} points/s; "
+            f"{meanfield['speedup_vs_discrete']:,.0f}x vs one discrete run)",
+            f"parallel    {parallel['speedup']:.2f}x with "
+            f"jobs={parallel['jobs_effective']} over "
+            f"{parallel['n_jobs_in_batch']} jobs "
             f"(serial {parallel['serial_s']:.2f} s -> "
             f"parallel {parallel['parallel_s']:.2f} s); "
-            f"identical metrics: {parallel['identical_metrics']}",
+            f"identical metrics: {parallel['identical_metrics']}{pool_note}",
             f"history     {len(history)} run(s) recorded",
         ]
     )

@@ -190,7 +190,7 @@ class MetadataServer:
         last_index = len(self.log) - 1
         last_term = self.log[last_index].term if last_index >= 0 else 0
         for peer in self.peers:
-            self.fabric.send(
+            self.fabric.send_nowait(
                 self.name,
                 peer,
                 VoteRequest(
@@ -242,7 +242,7 @@ class MetadataServer:
         next_index = self.next_index[peer]
         prev_index = next_index - 1
         prev_term = self.log[prev_index].term if prev_index >= 0 else 0
-        self.fabric.send(
+        self.fabric.send_nowait(
             self.name,
             peer,
             AppendEntries(
@@ -335,7 +335,7 @@ class MetadataServer:
             granted = True
             self.voted_for = msg.candidate
             self._reset_election_deadline()
-        self.fabric.send(
+        self.fabric.send_nowait(
             self.name,
             msg.candidate,
             VoteReply(term=self.term, voter=self.name, granted=granted),
@@ -359,7 +359,7 @@ class MetadataServer:
 
     def _on_append(self, msg: AppendEntries) -> None:
         if msg.term < self.term:
-            self.fabric.send(
+            self.fabric.send_nowait(
                 self.name,
                 msg.leader,
                 AppendReply(
@@ -384,7 +384,7 @@ class MetadataServer:
             if msg.commit_index > self.commit_index:
                 self.commit_index = min(msg.commit_index, len(self.log) - 1)
                 self._apply_committed()
-        self.fabric.send(
+        self.fabric.send_nowait(
             self.name,
             msg.leader,
             AppendReply(term=self.term, follower=self.name, ok=ok, match_index=match),
@@ -411,7 +411,7 @@ class MetadataServer:
     ) -> Generator[Event, Any, None]:
         if self.role != LEADER:
             self.plane.note_rejection(self.shard)
-            self.fabric.send(
+            self.fabric.send_nowait(
                 self.name,
                 payload.client,
                 RequestFailed(
@@ -443,7 +443,7 @@ class MetadataServer:
             holders = self.state.live_holders(payload.file_id)
         if not holders:
             self.plane.requests_unroutable += 1
-            self.fabric.send(
+            self.fabric.send_nowait(
                 self.name,
                 payload.client,
                 RequestFailed(
@@ -456,7 +456,7 @@ class MetadataServer:
                 tracer.end(lookup, routed=False)
             return
         primary, backups = holders[0], tuple(holders[1:])
-        self.fabric.send(
+        self.fabric.send_nowait(
             self.name,
             primary,
             ForwardedRequest(request=payload, failover=backups),
@@ -469,7 +469,7 @@ class MetadataServer:
             and backups
         ):
             for holder in backups:
-                self.fabric.send(
+                self.fabric.send_nowait(
                     self.name,
                     holder,
                     ForwardedRequest(request=payload, silent=True),

@@ -15,8 +15,136 @@ from typing import Any, Dict, Optional, Set
 from repro.net.link import DEFAULT_CONNECT_S, DEFAULT_LATENCY_S, Link
 from repro.net.message import Message
 from repro.sim.engine import Simulator
-from repro.sim.events import Event
+from repro.sim.events import Event, URGENT
 from repro.sim.resources import Store
+
+
+class _Delivery:
+    """Continuation state machine for one message transfer.
+
+    The flat-dispatch replacement for the generator ``Fabric._deliver``:
+    each stage is a plain bound method subscribed directly to the event
+    it waits on (or scheduled via ``call_later``), so a delivery costs no
+    Process object, no kick-off/completion events and no generator frame.
+    Every stage runs in exactly the event slot where the generator's
+    ``_resume`` would have run -- the two dispatch modes produce
+    byte-identical metrics (pinned by tests/core/test_dispatch_identity).
+
+    ``done`` is the completion event handed back to ``Fabric.send``
+    callers; ``Fabric.send_nowait`` passes ``None`` and skips the final
+    completion event entirely (fire-and-forget sends are the common
+    case on the request path).
+    """
+
+    __slots__ = (
+        "fabric",
+        "sender",
+        "receiver",
+        "message",
+        "done",
+        "span",
+        "rx_hold",
+        "remaining",
+        "tx_slot",
+        "rx_slot",
+    )
+
+    def __init__(
+        self,
+        fabric: "Fabric",
+        sender: "Endpoint",
+        receiver: "Endpoint",
+        message: Message,
+        done: Optional[Event],
+    ) -> None:
+        self.fabric = fabric
+        self.sender = sender
+        self.receiver = receiver
+        self.message = message
+        self.done = done
+        # Kicked off URGENT at the current time -- the same schedule slot
+        # a Process kick-off event would occupy.
+        fabric.sim.call_soon(self._start, priority=URGENT)
+
+    def _start(self, _value: Any) -> None:
+        fabric = self.fabric
+        message = self.message
+        sender = self.sender
+        receiver = self.receiver
+        message.sent_at = fabric.sim.now
+        tracer = fabric.sim.tracer
+        self.span = None
+        if tracer is not None:
+            request_id = getattr(message.payload, "request_id", None)
+            self.span = tracer.begin(
+                "net.transfer",
+                f"net:{sender.name}",
+                parent=(
+                    None if request_id is None else tracer.request_span(request_id)
+                ),
+                src=message.src,
+                dst=message.dst,
+                bytes=message.size_bytes,
+                payload=type(message.payload).__name__,
+            )
+        rate = min(sender.tx.bandwidth_bps, receiver.rx.bandwidth_bps)
+        duration = fabric.latency_s + message.size_bytes / rate
+        # See Fabric._deliver for the TX/RX occupancy rationale; the hold
+        # times are identical in both dispatch modes.
+        self.rx_hold = message.size_bytes / receiver.rx.bandwidth_bps
+        self.remaining = duration - self.rx_hold
+        self.tx_slot = sender.tx._channel.request()
+        assert self.tx_slot.callbacks is not None
+        self.tx_slot.callbacks.append(self._tx_granted)
+
+    def _tx_granted(self, _event: Event) -> None:
+        self.rx_slot = self.receiver.rx._channel.request()
+        assert self.rx_slot.callbacks is not None
+        self.rx_slot.callbacks.append(self._rx_granted)
+
+    def _rx_granted(self, _event: Event) -> None:
+        self.fabric.sim.call_later(self.rx_hold, self._rx_done)
+
+    def _rx_done(self, _value: Any) -> None:
+        receiver = self.receiver
+        receiver.rx.bytes_sent += self.message.size_bytes
+        receiver.rx._channel.release(self.rx_slot)
+        if self.remaining > 0:
+            self.fabric.sim.call_later(self.remaining, self._tx_done)
+        else:
+            self._tx_done(None)
+
+    def _tx_done(self, _value: Any) -> None:
+        fabric = self.fabric
+        message = self.message
+        self.sender.tx.bytes_sent += message.size_bytes
+        fabric.messages_sent += 1
+        fabric.bytes_sent += message.size_bytes
+        self.sender.tx._channel.release(self.tx_slot)
+        message.delivered_at = fabric.sim.now
+        tracer = fabric.sim.tracer
+        if fabric._partitioned and (
+            message.src in fabric._partitioned or message.dst in fabric._partitioned
+        ):
+            # Partition check happens at delivery time so a cut that
+            # lands mid-flight still eats the message.
+            fabric.messages_dropped += 1
+            if self.span is not None and tracer is not None:
+                tracer.end(self.span, dropped=True)
+            if self.done is not None:
+                self.done.succeed(None)
+            return
+        if self.span is not None and tracer is not None:
+            tracer.end(self.span)
+        self.receiver.messages_received += 1
+        put = self.receiver.inbox.put(message)
+        if self.done is not None:
+            assert put.callbacks is not None
+            put.callbacks.append(self._delivered)
+
+    def _delivered(self, _event: Event) -> None:
+        assert self.done is not None
+        self.done.succeed(self.message)
 
 
 class Endpoint:
@@ -48,7 +176,16 @@ class Endpoint:
 
 
 class Fabric:
-    """A set of endpoints and the send primitive connecting them."""
+    """A set of endpoints and the send primitive connecting them.
+
+    Deliveries run as flat :class:`_Delivery` continuations by default;
+    flip :attr:`use_continuations` to fall back to the legacy generator
+    ``_deliver`` path (kept for the old-vs-new byte-identity test).
+    """
+
+    #: Dispatch mode for message deliveries.  Class-level so tests can
+    #: flip a single switch; both modes produce byte-identical metrics.
+    use_continuations: bool = True
 
     def __init__(
         self,
@@ -126,7 +263,42 @@ class Fabric:
             if size_bytes is None
             else Message(src=src, dst=dst, payload=payload, size_bytes=size_bytes)
         )
-        return self.sim.process(self._deliver(sender, receiver, message))
+        if not self.use_continuations:
+            return self.sim.process(self._deliver(sender, receiver, message))
+        done = Event(self.sim)
+        _Delivery(self, sender, receiver, message, done)
+        return done
+
+    def send_nowait(
+        self,
+        src: str,
+        dst: str,
+        payload: Any,
+        size_bytes: Optional[int] = None,
+    ) -> None:
+        """Fire-and-forget :meth:`send`: no completion event is created.
+
+        Most protocol sends never wait on delivery (the reply arriving in
+        the inbox *is* the acknowledgement), so skipping the completion
+        event avoids one Event allocation plus one scheduled slot per
+        message.  Dropping an event from the schedule only renumbers the
+        sequence counter -- relative order of all surviving events is
+        unchanged, so metrics are identical to ``send`` with the result
+        ignored.
+        """
+        sender = self.endpoint(src)
+        receiver = self.endpoint(dst)
+        if src == dst:
+            raise ValueError(f"endpoint {src!r} cannot send to itself")
+        message = (
+            Message(src=src, dst=dst, payload=payload)
+            if size_bytes is None
+            else Message(src=src, dst=dst, payload=payload, size_bytes=size_bytes)
+        )
+        if not self.use_continuations:
+            self.sim.process(self._deliver(sender, receiver, message))
+            return
+        _Delivery(self, sender, receiver, message, None)
 
     def connect(self, src: str, dst: str) -> Event:
         """Pay one connection-setup round trip (TCP handshake)."""

@@ -70,6 +70,9 @@ class OnlineStats:
     replan_epochs: int = 0
     replans_triggered: int = 0
     replans_skipped: int = 0
+    #: Subset of the skips where drift had fired but the cost gate
+    #: (``online_replan_cost_gate``) vetoed the migration as uneconomic.
+    replans_cost_vetoed: int = 0
     max_drift: float = 0.0
     #: Accesses the streaming estimator ingested (set at run end).
     samples_recorded: int = 0

@@ -18,6 +18,17 @@ every ``online_replan_epoch_s`` of simulated time the replanner
 The drift gate is what makes this cheaper than blind periodic
 re-prefetching: a stable workload converges after one or two epochs and
 then stops moving data entirely.
+
+With ``online_replan_cost_gate`` enabled, a drifted plan must also pay
+for itself: the loop estimates the migration energy of copying the newly
+wanted files into the buffer tier and an (optimistic) projection of the
+energy those copies can save over the next epoch, and skips the replan
+when the cost exceeds the projection.  This is what tames the
+saturation regime -- at 50 MB files every replan moves gigabytes while a
+throttled client produces only a handful of hits per epoch to pay for
+them.  The savings projection is deliberately optimistic (it assumes
+every next-epoch access lands in the top-K), so the gate only vetoes
+replans that cannot break even even under the rosiest forecast.
 """
 
 from __future__ import annotations
@@ -55,6 +66,9 @@ class ReplanLoop:
         #: Files the buffer disks were last told to hold (empty until
         #: the first replan -- online mode starts cold).
         self._planned: Set[int] = set()
+        #: Estimator count at the previous epoch boundary, for the
+        #: per-epoch access-rate estimate the cost gate projects from.
+        self._last_recorded = 0
 
     def start(self) -> None:
         """Arm the loop (called at the trace epoch)."""
@@ -66,6 +80,58 @@ class ReplanLoop:
             return 0.0
         missing = sum(1 for fid in top if fid not in self._planned)
         return missing / len(top)
+
+    def migration_cost_j(self, new_files: list[int]) -> float:
+        """Estimated energy to copy *new_files* into the buffer tier.
+
+        Each copy is one active data-disk read plus one active
+        buffer-disk write at the file's registered size; node hardware
+        is taken from the first storage node (the fleet is near-uniform
+        for this purpose, and the gate only needs the right order of
+        magnitude).
+        """
+        nodes = self.controller.nodes
+        if not nodes or not new_files:
+            return 0.0
+        data = nodes[0].data_disks[0].spec
+        buffer = nodes[0].buffer_disk.spec
+        total = 0.0
+        for fid in new_files:
+            try:
+                size = self.server.metadata.lookup(fid).size_bytes
+            except KeyError:
+                continue
+            read_s = data.positioning_s + size / data.bandwidth_bps
+            write_s = buffer.positioning_s + size / buffer.bandwidth_bps
+            total += read_s * data.power_active_w + write_s * buffer.power_active_w
+        return total
+
+    def projected_savings_j(
+        self, new_files: list[int], drift: float, epoch_accesses: int
+    ) -> float:
+        """Optimistic next-epoch savings from covering *new_files*.
+
+        Assumes the recent access rate continues, every access lands in
+        the top-K, and the drifted share of them would each have cost an
+        active data-disk read that the new plan converts to a buffer
+        hit.  Optimism is the point: a replan vetoed under this forecast
+        cannot break even under any realistic one.
+        """
+        nodes = self.controller.nodes
+        if not nodes or not new_files or epoch_accesses <= 0 or drift <= 0:
+            return 0.0
+        data = nodes[0].data_disks[0].spec
+        sizes = []
+        for fid in new_files:
+            try:
+                sizes.append(self.server.metadata.lookup(fid).size_bytes)
+            except KeyError:
+                continue
+        if not sizes:
+            return 0.0
+        mean_size = sum(sizes) / len(sizes)
+        read_s = data.positioning_s + mean_size / data.bandwidth_bps
+        return epoch_accesses * drift * read_s * data.power_active_w
 
     def _loop(self) -> Generator[Event, Any, None]:
         stats = self.controller.stats
@@ -90,14 +156,33 @@ class ReplanLoop:
             top = ranking[:k]
             drift = self.drift_fraction(top)
             stats.max_drift = max(stats.max_drift, drift)
+            epoch_accesses = self.estimator.recorded - self._last_recorded
+            self._last_recorded = self.estimator.recorded
             first_plan = not self._planned and bool(top)
             if not first_plan and drift < self.config.online_drift_threshold:
                 stats.replans_skipped += 1
                 continue
 
+            if self.config.online_replan_cost_gate and not first_plan:
+                new_files = [fid for fid in top if fid not in self._planned]
+                cost = self.migration_cost_j(new_files)
+                savings = self.projected_savings_j(new_files, drift, epoch_accesses)
+                if cost > savings:
+                    stats.replans_skipped += 1
+                    stats.replans_cost_vetoed += 1
+                    if tracer is not None:
+                        tracer.instant(
+                            "online.replan_vetoed",
+                            "online",
+                            drift=drift,
+                            cost_j=cost,
+                            projected_savings_j=savings,
+                        )
+                    continue
+
             plan = plan_prefetch(ranking, k, self.server.placement)
             for node in self.server.node_names:
-                self.server.fabric.send(
+                self.server.fabric.send_nowait(
                     self.server.name,
                     node,
                     PrefetchCommand(

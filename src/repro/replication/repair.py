@@ -81,7 +81,7 @@ class ReplicationManager:
         entry = metadata.lookup(file_id)
         self._inflight[file_id] = self.sim.now
         self.repairs_started += 1
-        self.server.fabric.send(
+        self.server.fabric.send_nowait(
             self.server.name,
             target,
             RepairCommand(

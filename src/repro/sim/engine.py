@@ -1,7 +1,31 @@
-"""The simulation engine: clock, event heap, and run loop."""
+"""The simulation engine: clock, event heap, zero-delay lanes, run loop.
+
+Scheduling is split across two structures that together realise one
+total order ``(time, priority, sequence)``:
+
+* a binary **heap** for events scheduled strictly into the future
+  (``delay > 0``), and
+* three per-priority FIFO **lanes** (deques) for zero-delay events --
+  ``succeed()``/``fail()``, process kick-offs and completions,
+  :meth:`Simulator.call_soon` continuations.
+
+Zero-delay traffic dominates the hot path (every grant, completion and
+continuation is scheduled "now"), and a deque append/popleft is O(1)
+where a heap push/pop is O(log n).  Lane entries are always at the
+current timestamp, so they provably drain before the clock advances;
+merging lane heads against the heap top by ``(priority, sequence)``
+preserves the exact dispatch order of a single-heap engine -- which is
+what keeps same-seed runs byte-identical across this refactor.
+
+Continuation dispatch (:meth:`call_soon` / :meth:`call_later`) schedules
+a plain callable instead of resuming a generator.  The engine recycles
+the carrier :class:`Continuation` objects through a free list, so the
+continuation path allocates no per-event objects at steady state.
+"""
 
 from __future__ import annotations
 
+from collections import deque
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional, TYPE_CHECKING
 
@@ -26,13 +50,36 @@ class EmptySchedule(Exception):
     """Raised by :meth:`Simulator.step` when no events remain."""
 
 
+class Continuation(Event):
+    """Engine-internal carrier for a scheduled plain callable.
+
+    Never exposed to user code: :meth:`Simulator.call_soon` returns
+    ``None`` so nothing can subscribe callbacks to (or hold references
+    into) a continuation, which is what makes free-list recycling safe.
+    The dispatch loop special-cases this type -- the callable is invoked
+    directly with the stored value and the carrier goes straight back to
+    the pool.
+    """
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks = None  # dispatched specially; nothing subscribes
+        self._value = None
+        self._exc = None
+        self._ok = True
+        self._defused = False
+        self._fn: Optional[Callable[[Any], None]] = None
+
+
 class Simulator:
     """A deterministic discrete-event simulator.
 
-    The simulator owns the clock (:attr:`now`, in seconds) and a binary heap
-    of ``(time, priority, sequence, event)`` entries.  The sequence number
-    guarantees a total, reproducible order even for simultaneous events of
-    equal priority.
+    The simulator owns the clock (:attr:`now`, in seconds) and the
+    heap + lane schedule described in the module docstring.  The
+    sequence number guarantees a total, reproducible order even for
+    simultaneous events of equal priority.
 
     Typical use::
 
@@ -50,8 +97,15 @@ class Simulator:
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._heap: list[tuple[float, int, int, Event]] = []
+        #: Zero-delay lanes, indexed by priority (URGENT/NORMAL/LOW).
+        #: Entries are ``(seq, event)``; every entry's implicit timestamp
+        #: is the current clock.  The deque objects are created once and
+        #: only ever mutated in place, so the run loop may cache them.
+        self._lanes: tuple[deque, deque, deque] = (deque(), deque(), deque())
         self._seq = 0
         self._events_processed = 0
+        #: Recycled Continuation carriers (see :meth:`call_soon`).
+        self._cont_free: list[Continuation] = []
         #: Observers called as ``hook(now, event)`` for every processed
         #: event, in installation order (see :meth:`add_event_hook`).
         self._event_hooks: List[Callable[[float, Event], None]] = []
@@ -80,17 +134,69 @@ class Simulator:
         """Enqueue *event* to be processed ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay!r})")
-        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        if delay == 0.0:
+            self._lanes[priority].append((self._seq, event))
+        else:
+            heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        self._seq += 1
+
+    def call_soon(
+        self, fn: Callable[[Any], None], value: Any = None, priority: int = NORMAL
+    ) -> None:
+        """Schedule ``fn(value)`` to run at the current time.
+
+        The continuation carrier comes from (and returns to) a free
+        list, so steady-state continuation dispatch allocates nothing.
+        ``fn`` must be a plain callable of one argument; exceptions it
+        raises surface from :meth:`run` exactly like an unhandled failed
+        event.
+        """
+        free = self._cont_free
+        if free:
+            cont = free.pop()
+        else:
+            cont = Continuation(self)
+        cont._fn = fn
+        cont._value = value
+        self._lanes[priority].append((self._seq, cont))
+        self._seq += 1
+
+    def call_later(
+        self, delay: float, fn: Callable[[Any], None], value: Any = None
+    ) -> None:
+        """Schedule ``fn(value)`` to run *delay* seconds from now.
+
+        The continuation analogue of ``yield sim.timeout(delay)``: one
+        pooled carrier in the schedule instead of a Timeout event, a
+        generator frame and a resume trampoline.
+        """
+        if delay < 0:
+            raise ValueError(f"negative call_later delay: {delay!r}")
+        free = self._cont_free
+        if free:
+            cont = free.pop()
+        else:
+            cont = Continuation(self)
+        cont._fn = fn
+        cont._value = value
+        if delay == 0.0:
+            self._lanes[NORMAL].append((self._seq, cont))
+        else:
+            heapq.heappush(self._heap, (self._now + delay, NORMAL, self._seq, cont))
         self._seq += 1
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""
+        lanes = self._lanes
+        if lanes[0] or lanes[1] or lanes[2]:
+            return self._now
         return self._heap[0][0] if self._heap else float("inf")
 
     @property
     def queue_size(self) -> int:
         """Number of events currently scheduled (diagnostic)."""
-        return len(self._heap)
+        lanes = self._lanes
+        return len(self._heap) + len(lanes[0]) + len(lanes[1]) + len(lanes[2])
 
     # -- event factories -----------------------------------------------------
 
@@ -117,7 +223,10 @@ class Simulator:
         event._ok = True
         event._defused = False
         event.delay = delay
-        heapq.heappush(self._heap, (self._now + delay, NORMAL, self._seq, event))
+        if delay == 0.0:
+            self._lanes[NORMAL].append((self._seq, event))
+        else:
+            heapq.heappush(self._heap, (self._now + delay, NORMAL, self._seq, event))
         self._seq += 1
         return event
 
@@ -146,7 +255,10 @@ class Simulator:
         :mod:`repro.obs` tracer are independent observers).  When no hook
         is installed, :meth:`run` keeps its inlined hot loop and pays
         nothing; with hooks the loop dispatches through :meth:`step`
-        instead.  Hooks must not mutate simulation state.
+        instead.  Hooks must not mutate simulation state.  Continuations
+        pass through hooks like any other event (their type name is
+        ``Continuation``), so observed and unobserved runs dispatch the
+        same stream.
         """
         if hook in self._event_hooks:
             raise ValueError(f"event hook already installed: {hook!r}")
@@ -168,6 +280,36 @@ class Simulator:
         """The installed event hooks, in dispatch order (read-only view)."""
         return tuple(self._event_hooks)
 
+    def _pop_next(self) -> Event:
+        """Remove and return the next event in ``(time, priority, seq)``
+        order, advancing the clock when it comes off the heap.
+
+        Lane entries live at the current timestamp, so any non-empty lane
+        beats every heap entry scheduled later than ``now``; a heap entry
+        *at* ``now`` competes on ``(priority, seq)``.
+        """
+        lanes = self._lanes
+        if lanes[0]:
+            priority, lane = 0, lanes[0]
+        elif lanes[1]:
+            priority, lane = 1, lanes[1]
+        elif lanes[2]:
+            priority, lane = 2, lanes[2]
+        else:
+            try:
+                self._now, _, _, event = heapq.heappop(self._heap)
+            except IndexError:
+                raise EmptySchedule() from None
+            return event
+        heap = self._heap
+        if heap:
+            top = heap[0]
+            if top[0] == self._now and (
+                top[1] < priority or (top[1] == priority and top[2] < lane[0][0])
+            ):
+                return heapq.heappop(heap)[3]
+        return lane.popleft()[1]
+
     def step(self) -> None:
         """Process exactly one event.
 
@@ -175,14 +317,19 @@ class Simulator:
         the exception of any *unhandled* failed event so errors in processes
         cannot vanish silently.
         """
-        try:
-            self._now, _, _, event = heapq.heappop(self._heap)
-        except IndexError:
-            raise EmptySchedule() from None
-
+        event = self._pop_next()
         self._events_processed += 1
         for hook in self._event_hooks:
             hook(self._now, event)
+        if event.__class__ is Continuation:
+            fn = event._fn
+            value = event._value
+            event._fn = None
+            event._value = None
+            self._cont_free.append(event)
+            assert fn is not None
+            fn(value)
+            return
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:  # pragma: no cover - defensive; never rescheduled
             return
@@ -196,7 +343,7 @@ class Simulator:
             raise exc
 
     def run(self, until: "float | Event | None" = None) -> Any:
-        """Run until the heap drains, time *until* passes, or event fires.
+        """Run until the schedule drains, time *until* passes, or event fires.
 
         * ``until=None`` -- run to exhaustion, return ``None``;
         * ``until=<float>`` -- run until the clock reaches that time;
@@ -226,6 +373,15 @@ class Simulator:
 
         heappop = heapq.heappop
         heap = self._heap
+        # The lane deques and the free list are stable objects (mutated in
+        # place, never reassigned), so caching them -- and their bound
+        # methods -- in locals is safe.
+        lane_u, lane_n, lane_l = self._lanes
+        recycle = self._cont_free.append
+        #: Events dispatched by this inlined loop; flushed to
+        #: ``_events_processed`` in the finally block so the hot path pays
+        #: one local increment instead of two attribute operations.
+        dispatched = 0
         try:
             if self._event_hooks:
                 # Observed run: dispatch through step() so every hook sees
@@ -235,11 +391,40 @@ class Simulator:
             # The step() body is inlined here: one Python-level call per
             # event is the single largest fixed cost of the run loop.
             while True:
-                try:
-                    self._now, _, _, event = heappop(heap)
-                except IndexError:
-                    raise EmptySchedule() from None
-                self._events_processed += 1
+                # -- pop next in (time, priority, seq) order ---------------
+                if lane_u or lane_n or lane_l:
+                    if lane_u:
+                        priority, lane = 0, lane_u
+                    elif lane_n:
+                        priority, lane = 1, lane_n
+                    else:
+                        priority, lane = 2, lane_l
+                    if heap:
+                        top = heap[0]
+                        if top[0] == self._now and (
+                            top[1] < priority
+                            or (top[1] == priority and top[2] < lane[0][0])
+                        ):
+                            event = heappop(heap)[3]
+                        else:
+                            event = lane.popleft()[1]
+                    else:
+                        event = lane.popleft()[1]
+                else:
+                    try:
+                        self._now, _, _, event = heappop(heap)
+                    except IndexError:
+                        raise EmptySchedule() from None
+                dispatched += 1
+                # -- dispatch ----------------------------------------------
+                if event.__class__ is Continuation:
+                    # Flat continuation dispatch: invoke the callable and
+                    # recycle the carrier -- no callback list, no Event
+                    # allocation, no generator machinery.  The carrier's
+                    # slots are overwritten on reuse, so no clearing here.
+                    recycle(event)
+                    event._fn(event._value)
+                    continue
                 callbacks, event.callbacks = event.callbacks, None
                 if callbacks is None:  # pragma: no cover - defensive
                     continue
@@ -259,6 +444,7 @@ class Simulator:
                 return None
             return None
         finally:
+            self._events_processed += dispatched
             # Defuse the stop event on every exit path so a later run()
             # cannot trip over it.  Without this, an exception escaping a
             # process (or an `until` event that never fired) leaves
@@ -271,14 +457,21 @@ class Simulator:
                 except ValueError:  # pragma: no cover - already detached
                     pass
                 if internal_stop:
-                    # Our own deadline event is still sitting in the heap;
-                    # pull it so an until-free run cannot pointlessly
-                    # advance the clock to the abandoned deadline.
+                    # Our own deadline event may still sit in the schedule
+                    # (heap for a future deadline, URGENT lane for an
+                    # `until=now` one); pull it so an until-free run cannot
+                    # pointlessly advance the clock to the abandoned
+                    # deadline or trip over the stale entry.
                     stop._defused = True
                     entries = [e for e in self._heap if e[3] is not stop]
                     if len(entries) != len(self._heap):
                         self._heap = entries
                         heapq.heapify(self._heap)
+                    for lane in self._lanes:
+                        if any(entry[1] is stop for entry in lane):
+                            kept = [e for e in lane if e[1] is not stop]
+                            lane.clear()
+                            lane.extend(kept)
 
     @staticmethod
     def _stop_callback(event: Event) -> None:
@@ -289,4 +482,4 @@ class Simulator:
         raise event._exc
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Simulator now={self._now!r} queued={len(self._heap)}>"
+        return f"<Simulator now={self._now!r} queued={self.queue_size}>"

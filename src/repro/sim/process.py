@@ -9,7 +9,6 @@ raises, so processes can wait on each other directly.
 
 from __future__ import annotations
 
-from heapq import heappush
 from typing import Any, Generator, Optional, TYPE_CHECKING
 
 from repro.sim.events import Event, PENDING, URGENT
@@ -69,7 +68,7 @@ class Process(Event):
         start._value = None
         assert start.callbacks is not None
         start.callbacks.append(self._resume)
-        heappush(sim._heap, (sim._now, URGENT, sim._seq, start))
+        sim._lanes[URGENT].append((sim._seq, start))
         sim._seq += 1
         self._target = start
 
@@ -138,14 +137,14 @@ class Process(Event):
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value
-                heappush(sim._heap, (sim._now, 1, sim._seq, self))
+                sim._lanes[1].append((sim._seq, self))
                 sim._seq += 1
                 break
             except BaseException as exc:
                 self._ok = False
                 self._exc = exc
                 self._value = exc
-                heappush(sim._heap, (sim._now, 1, sim._seq, self))
+                sim._lanes[1].append((sim._seq, self))
                 sim._seq += 1
                 break
 

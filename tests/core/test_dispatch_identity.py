@@ -1,0 +1,77 @@
+"""Old-path vs new-path byte identity on full ``run_eevfs``.
+
+The fabric's delivery machinery was converted from per-message generator
+processes to flat :class:`~repro.net.fabric._Delivery` continuations.
+The conversion must be *invisible*: every metric of a same-seed run --
+energies, transitions, hit counters, response-time tallies down to the
+last bit of the floats -- must match the legacy generator path exactly.
+``Fabric.use_continuations`` is the single switch that selects the
+dispatch mode; these tests run the whole stack both ways and compare
+``repr``-level fingerprints (repr round-trips floats, so equality here
+is bit equality).
+"""
+
+import pytest
+
+from repro.core import EEVFSConfig, run_eevfs
+from repro.net.fabric import Fabric
+from repro.traces.synthetic import SyntheticWorkload, generate_synthetic_trace
+
+
+def _tally(stat):
+    return (stat.count, repr(stat.mean), repr(stat.minimum), repr(stat.maximum))
+
+
+def _fingerprint(result):
+    return (
+        repr(result.epoch_s),
+        repr(result.end_s),
+        repr(result.energy_j),
+        repr(result.energy_with_setup_j),
+        repr(result.server_energy_j),
+        result.transitions,
+        result.buffer_hits,
+        result.data_disk_hits,
+        result.writes_buffered,
+        result.writes_direct,
+        result.writes_destaged,
+        result.prefetch_files_copied,
+        result.prefetch_bytes_copied,
+        result.requests_failed,
+        _tally(result.response_times),
+        tuple(sorted((k, _tally(v)) for k, v in result.latency_components.items())),
+        tuple(
+            (n.name, repr(n.base_energy_j), repr(n.disk_energy_j), n.transitions)
+            for n in result.nodes
+        ),
+    )
+
+
+def _run(use_continuations, config, seed=7):
+    workload = SyntheticWorkload(n_requests=150, write_fraction=0.2)
+    trace = generate_synthetic_trace(workload)
+    previous = Fabric.use_continuations
+    Fabric.use_continuations = use_continuations
+    try:
+        return run_eevfs(trace, config, seed=seed)
+    finally:
+        Fabric.use_continuations = previous
+
+
+@pytest.mark.parametrize(
+    "config",
+    [
+        EEVFSConfig(),
+        EEVFSConfig(prefetch_enabled=False),
+        EEVFSConfig(online_mode=True),
+    ],
+    ids=["prefetch", "no-prefetch", "online"],
+)
+def test_generator_and_continuation_paths_are_byte_identical(config):
+    old = _run(False, config)
+    new = _run(True, config)
+    assert _fingerprint(old) == _fingerprint(new)
+
+
+def test_continuation_path_is_the_default():
+    assert Fabric.use_continuations is True
