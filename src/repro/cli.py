@@ -198,6 +198,25 @@ def _cmd_lint(args: argparse.Namespace) -> None:
     from repro.devtools.runner import apply_fixes, lint_paths, render_json, render_text
 
     select = [s for part in (args.select or []) for s in part.split(",") if s]
+    if args.races:
+        from repro.devtools.racesuite import (
+            DEFAULT_RACE_SEEDS,
+            render_race_json,
+            render_race_text,
+            run_race_suite,
+        )
+
+        seeds = [
+            int(s) for part in (args.race_seeds or []) for s in part.split(",") if s
+        ] or list(DEFAULT_RACE_SEEDS)
+        report = run_race_suite(seeds=seeds, n_requests=args.race_requests)
+        if args.format == "json":
+            print(render_race_json(report), end="")
+        else:
+            print(render_race_text(report))
+        if not report.ok:
+            raise SystemExit(1)
+        return
     if args.list_rules:
         for rule in all_rules(select or None):
             print(f"{rule.id}  {rule.summary}")
@@ -868,6 +887,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--list-rules", action="store_true", help="describe the rules and exit"
+    )
+    lint.add_argument(
+        "--races",
+        action="store_true",
+        help="run the schedule-perturbation race suite instead of static checks",
+    )
+    lint.add_argument(
+        "--race-seeds",
+        action="append",
+        metavar="SEEDS",
+        help="comma-separated chaos-scheduler seeds (default: 101,303)",
+    )
+    lint.add_argument(
+        "--race-requests",
+        type=int,
+        default=150,
+        metavar="N",
+        help="requests per race-suite scenario (default: 150)",
     )
     lint.set_defaults(func=_cmd_lint)
     return parser

@@ -19,7 +19,7 @@ retries show up as latency, exactly as a real client would experience.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Set, Tuple
+from typing import Any, Dict, Generator, Optional, Set, Tuple
 
 import numpy as np
 
@@ -33,7 +33,8 @@ from repro.core.protocol import (
 )
 from repro.net.fabric import Fabric
 from repro.sim.engine import Simulator
-from repro.sim.events import URGENT
+from repro.sim.events import Event, URGENT
+from repro.sim.process import Process
 from repro.sim.monitor import TallyStat
 from repro.sim.resources import Resource
 from repro.traces.model import RequestOp, Trace
@@ -154,7 +155,9 @@ class ClientDriver:
 
     # -- public API --------------------------------------------------------------------
 
-    def replay(self, trace: Trace, epoch_s: float = 0.0, mode: str = "open"):
+    def replay(
+        self, trace: Trace, epoch_s: float = 0.0, mode: str = "open"
+    ) -> Process:
         """Start replaying *trace* offset to begin at *epoch_s*.
 
         Three replay disciplines:
@@ -192,7 +195,9 @@ class ClientDriver:
 
     # -- internals -------------------------------------------------------------------------
 
-    def _replay(self, trace: Trace, epoch_s: float):
+    def _replay(
+        self, trace: Trace, epoch_s: float
+    ) -> Generator[Event, Any, TallyStat]:
         for request in trace.requests:
             target = epoch_s + request.time_s
             if target > self.sim.now:
@@ -204,7 +209,9 @@ class ClientDriver:
             yield self._drained
         return self.response_times
 
-    def _replay_paced(self, trace: Trace, epoch_s: float):
+    def _replay_paced(
+        self, trace: Trace, epoch_s: float
+    ) -> Generator[Event, Any, TallyStat]:
         slots = Resource(self.sim, capacity=self.max_outstanding)
         for request in trace.requests:
             target = epoch_s + request.time_s
@@ -227,7 +234,9 @@ class ClientDriver:
             yield self._drained
         return self.response_times
 
-    def _replay_closed(self, trace: Trace, epoch_s: float):
+    def _replay_closed(
+        self, trace: Trace, epoch_s: float
+    ) -> Generator[Event, Any, TallyStat]:
         if epoch_s > self.sim.now:
             yield self.sim.timeout(epoch_s - self.sim.now)
         previous_t: Optional[float] = None
@@ -370,7 +379,7 @@ class ClientDriver:
 
     # -- the response plane ----------------------------------------------------------------
 
-    def _dispatch_loop(self):
+    def _dispatch_loop(self) -> Generator[Event, Any, None]:
         while True:
             message = yield self.endpoint.receive()
             payload = message.payload

@@ -20,7 +20,9 @@ the draining disk.
 from __future__ import annotations
 
 from dataclasses import replace as replace_dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.config import EEVFSConfig, NodeSpec
 from repro.core.metadata import NodeMetadata
@@ -30,6 +32,7 @@ from repro.core.protocol import (
     AccessHints,
     CreateFile,
     FileData,
+    FileRequest,
     ForwardedRequest,
     PrefetchCommand,
     PrefetchComplete,
@@ -50,6 +53,7 @@ from repro.disk.drive import (
 )
 from repro.net.fabric import Fabric
 from repro.sim.engine import Simulator
+from repro.sim.events import Event
 from repro.traces.model import RequestOp
 
 
@@ -71,7 +75,7 @@ class StorageNode:
         config: EEVFSConfig,
         server_name: str = "server",
         spinup_jitter: float = 0.0,
-        rng=None,
+        rng: Optional[np.random.Generator] = None,
         record_history: bool = False,
     ) -> None:
         self.sim = sim
@@ -209,7 +213,7 @@ class StorageNode:
         for disk in self.all_disks:
             disk.repair()
 
-    def _refuse(self, payload) -> None:
+    def _refuse(self, payload: object) -> None:
         """A crashed node answers nothing -- except where pure silence
         would strand a waiter forever.  Clients get a RequestFailed (or
         their request fails over), repair peers get negative acks; all
@@ -255,7 +259,7 @@ class StorageNode:
 
     # -- the node process ----------------------------------------------------------------
 
-    def _main_loop(self):
+    def _main_loop(self) -> Generator[Event, Any, None]:
         while True:
             message = yield self.endpoint.receive()
             payload = message.payload
@@ -286,7 +290,7 @@ class StorageNode:
 
     # -- prefetch (Fig. 2 step 3) -----------------------------------------------------------
 
-    def _do_prefetch(self, command: PrefetchCommand):
+    def _do_prefetch(self, command: PrefetchCommand) -> Generator[Event, Any, None]:
         started = self.sim.now
         if command.replace:
             # Dynamic re-prefetch: drop copies that fell out of the hot
@@ -358,7 +362,7 @@ class StorageNode:
 
     # -- destaging (energy-aware write-back) --------------------------------------------------
 
-    def _destage_loop(self):
+    def _destage_loop(self) -> Generator[Event, Any, None]:
         """Write dirty buffer data back to data disks, energy-aware.
 
         Opportunistic: a dirty file destages when every disk of its
@@ -404,7 +408,7 @@ class StorageNode:
         fraction = self.write_buffer.dirty_bytes / capacity
         return fraction >= self.config.destage_highwater_fraction
 
-    def _destage_one(self, file_id: int):
+    def _destage_one(self, file_id: int) -> Generator[Event, Any, None]:
         """Read staged data from the buffer log, write to the data disks.
 
         The dirty entry is removed only once the data-disk writes have
@@ -471,7 +475,9 @@ class StorageNode:
             hint_gap = None
         self.power.set_hints(per_disk_times, per_disk_seqs, hint_gap_s=hint_gap)
 
-    def _patterns_from_stream(self, since_s: Optional[float]):
+    def _patterns_from_stream(
+        self, since_s: Optional[float]
+    ) -> Tuple[List[List[float]], List[List[int]]]:
         """Per-disk (times, sequence numbers) for non-buffer-served
         accesses in the hinted stream, optionally only those at or after
         *since_s*.  Sequence numbers are absolute stream positions, so a
@@ -500,7 +506,7 @@ class StorageNode:
 
     # -- request service (Fig. 2 steps 5-6) -------------------------------------------------------
 
-    def _serve(self, forwarded: ForwardedRequest):
+    def _serve(self, forwarded: ForwardedRequest) -> Generator[Event, Any, None]:
         """Wrap :meth:`_serve_inner` in a ``node.dispatch`` span when
         observability is attached; otherwise delegate at zero cost."""
         tracer = self.sim.tracer
@@ -520,7 +526,7 @@ class StorageNode:
         finally:
             tracer.end(span)
 
-    def _serve_inner(self, forwarded: ForwardedRequest):
+    def _serve_inner(self, forwarded: ForwardedRequest) -> Generator[Event, Any, None]:
         request = forwarded.request
         if self.config.node_overhead_s > 0:
             yield self.sim.timeout(self.config.node_overhead_s)
@@ -577,7 +583,9 @@ class StorageNode:
                 self.spec.name, request.client, reply, size_bytes=reply_size
             )
 
-    def _serve_io(self, request):
+    def _serve_io(
+        self, request: FileRequest
+    ) -> Generator[Event, Any, Tuple[object, Optional[int], Optional[int]]]:
         """The I/O half of :meth:`_serve`; raises DiskFailureError when a
         needed drive is dead.  Returns (reply, reply_size, disk_index)."""
         file_id = request.file_id
@@ -623,7 +631,7 @@ class StorageNode:
             )
             return reply, size, disk_index
 
-    def _route_read(self, file_id: int):
+    def _route_read(self, file_id: int) -> Tuple[Optional[int], str]:
         """Pick the serving medium for a read: buffer copy, staged write,
         or the owning data disk.  (Overridden by caching baselines.)"""
         if self.metadata.is_prefetched(file_id) or file_id in self.write_buffer.dirty_files:
@@ -640,7 +648,7 @@ class StorageNode:
         (MAID) use it to admit the just-read file into their cache.
         """
 
-    def _serve_write(self, file_id: int, size: int):
+    def _serve_write(self, file_id: int, size: int) -> Generator[Event, Any, str]:
         """Write path: stage to the buffer disk when allowed and it fits;
         otherwise write through to the data disk (waking it if needed)."""
         use_buffer = (
@@ -674,7 +682,7 @@ class StorageNode:
 
     # -- repair data plane (repro.replication) ------------------------------------------
 
-    def _start_repair(self, command: RepairCommand):
+    def _start_repair(self, command: RepairCommand) -> Generator[Event, Any, None]:
         """RepairCommand handler (we are the repair *target*): pull the
         bytes from the surviving source holder."""
         self._pending_repairs[command.file_id] = command
@@ -684,7 +692,7 @@ class StorageNode:
             ReplicaPull(file_id=command.file_id, requester=self.spec.name),
         )
 
-    def _serve_pull(self, pull: ReplicaPull):
+    def _serve_pull(self, pull: ReplicaPull) -> Generator[Event, Any, None]:
         """ReplicaPull handler (we are the *source*): read the file and
         ship it to the repair target.
 
@@ -742,7 +750,7 @@ class StorageNode:
                 ReplicaData(file_id=file_id, size_bytes=size, ok=False),
             )
 
-    def _finish_repair(self, data: ReplicaData):
+    def _finish_repair(self, data: ReplicaData) -> Generator[Event, Any, None]:
         """ReplicaData handler (we are the *target* again): write the new
         replica locally, then report to the server.
 

@@ -36,12 +36,13 @@ from __future__ import annotations
 
 from collections import deque
 import math
-from typing import Deque, List, Optional, Sequence
+from typing import Any, Deque, Generator, Iterable, List, Optional, Sequence
 
 from repro.core.prediction import effective_threshold
 from repro.disk.drive import SimDisk
 from repro.disk.states import DiskState
 from repro.sim.engine import Simulator
+from repro.sim.events import Event
 
 #: EWMA weight for observed node inter-arrival gaps.
 GAP_EWMA_ALPHA = 0.2
@@ -185,7 +186,7 @@ class PowerManager:
             self._future_seqs[disk_index].popleft()
         self._wake_seq[disk_index] = None
 
-    def evaluate_all(self, exclude=None) -> None:
+    def evaluate_all(self, exclude: "int | Iterable[int] | None" = None) -> None:
         """Check every disk for a sleep opportunity (on request entry).
 
         *exclude* (an index or an iterable of indices) skips the disks the
@@ -272,7 +273,7 @@ class PowerManager:
                 return
             wake_at = max(self.sim.now, next_access - disk.spec.spinup_s)
 
-            def waker():
+            def waker() -> Generator[Event, Any, None]:
                 yield self.sim.timeout(wake_at - self.sim.now)
                 if self._wake_seq[disk_index] == -1:
                     self._wake_seq[disk_index] = None

@@ -16,7 +16,7 @@ as a load balancer and access point for all of the storage nodes".  It:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional
+from typing import Any, Dict, Generator, List, Optional
 
 from repro.core.config import EEVFSConfig
 from repro.core.metadata import ServerMetadata
@@ -44,6 +44,7 @@ from repro.replication.policy import plan_replicas
 from repro.replication.repair import ReplicationManager
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
+from repro.sim.process import Process
 from repro.traces.logio import AccessLog
 from repro.traces.model import RequestOp, Trace
 
@@ -127,7 +128,7 @@ class StorageServer:
 
     # -- setup (Fig. 2 steps 1-4) ---------------------------------------------------
 
-    def setup(self, trace: Trace, history: Optional[Trace] = None):
+    def setup(self, trace: Trace, history: Optional[Trace] = None) -> Process:
         """Run initialisation; returns a process whose value is the epoch.
 
         *history* is the trace the popularity log was gathered from; by
@@ -140,7 +141,7 @@ class StorageServer:
         """
         return self.sim.process(self._setup(trace, history or trace))
 
-    def _setup(self, trace: Trace, history: Trace):
+    def _setup(self, trace: Trace, history: Trace) -> Generator[Event, Any, float]:
         # Step 1: one thread + TCP connection per storage node.
         for node in self.node_names:
             yield self.fabric.connect(self.name, node)
@@ -284,7 +285,7 @@ class StorageServer:
 
     # -- dynamic re-prefetching (extension; PRE-BUD's "dynamically fetch") -------------
 
-    def _reprefetch_loop(self):
+    def _reprefetch_loop(self) -> Generator[Event, Any, None]:
         """Periodically retarget the buffer disks from the online log."""
         interval = self.config.reprefetch_interval_s
         window = self.config.popularity_window_s
@@ -310,7 +311,7 @@ class StorageServer:
 
     # -- request plane (steps 5-6) -----------------------------------------------------
 
-    def _main_loop(self):
+    def _main_loop(self) -> Generator[Event, Any, None]:
         while True:
             message = yield self.endpoint.receive()
             payload = message.payload

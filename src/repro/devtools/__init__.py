@@ -14,9 +14,16 @@ package turns those conventions into tooling:
 * :mod:`repro.devtools.rules`       -- the rule engine and registry,
 * :mod:`repro.devtools.checks`      -- the DET/PAR/SIM rule implementations,
 * :mod:`repro.devtools.runner`      -- file walking, rendering, fixing,
-* :mod:`repro.devtools.sanitizer`   -- runtime event-stream digests.
+* :mod:`repro.devtools.cfg`         -- per-function control-flow graphs,
+* :mod:`repro.devtools.symbols`     -- the cross-module scheduling symbol table,
+* :mod:`repro.devtools.checks_sched` -- the CONT/SIM003/DET004/LNT001 rules,
+* :mod:`repro.devtools.sanitizer`   -- runtime event-stream digests and the
+  schedule-perturbation sanitizer,
+* :mod:`repro.devtools.racesuite`   -- the whole-model chaos-scheduler suite
+  (imported lazily: it pulls in the full EEVFS stack).
 
-Run it as ``eevfs lint [paths...]`` (see :mod:`repro.cli`).
+Run it as ``eevfs lint [paths...]`` (static checks) or ``eevfs lint
+--races`` (chaos-scheduler suite); see :mod:`repro.cli`.
 """
 
 from repro.devtools.diagnostics import Diagnostic
@@ -24,9 +31,14 @@ from repro.devtools.rules import all_rules, LintConfig, Rule
 from repro.devtools.runner import lint_paths, render_json, render_text
 from repro.devtools.sanitizer import (
     assert_deterministic,
+    assert_schedule_invariant,
     DeterminismError,
     digest_run,
     EventStreamHasher,
+    perturbed_digest_run,
+    ScheduleProbe,
+    ScheduleRaceError,
+    TimeBucketHasher,
 )
 
 __all__ = [
@@ -35,10 +47,15 @@ __all__ = [
     "EventStreamHasher",
     "LintConfig",
     "Rule",
+    "ScheduleProbe",
+    "ScheduleRaceError",
+    "TimeBucketHasher",
     "all_rules",
     "assert_deterministic",
+    "assert_schedule_invariant",
     "digest_run",
     "lint_paths",
+    "perturbed_digest_run",
     "render_json",
     "render_text",
 ]

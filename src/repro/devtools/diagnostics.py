@@ -8,7 +8,7 @@ bar it enforces.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 
@@ -24,6 +24,11 @@ class Diagnostic:
     #: Whether the rule that produced this finding can rewrite the code
     #: (``eevfs lint --fix``).
     fixable: bool = False
+    #: Precomputed replacement text for fixes that cannot be rederived
+    #: from the AST alone (LNT001 carries the rewritten pragma line
+    #: here; ``""`` means delete the line).  Excluded from ordering and
+    #: equality so diagnostics still compare by location.
+    fix_hint: str | None = field(default=None, compare=False)
 
     def format(self) -> str:
         """Human-readable one-liner (``path:line:col: RULE message``)."""

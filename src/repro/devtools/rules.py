@@ -24,6 +24,12 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.symbols import (
+    ModuleInfo,
+    module_name_for_path,
+    ProjectModel,
+    summarise_module,
+)
 
 
 def _posix(path: str) -> str:
@@ -92,16 +98,59 @@ class LintConfig:
         "repro/obs/tracer.py",
         "repro/obs/telemetry.py",
     )
+    #: Calls that enqueue work on the event loop.  Feeds the symbol
+    #: table's ``schedules_directly`` summary (SIM003) and the closure
+    #: rules' notion of "this callable will run later" (CONT001).
+    schedule_primitives: tuple[str, ...] = (
+        "call_soon",
+        "call_later",
+        "send_nowait",
+        "succeed",
+        "fail",
+        "schedule",
+    )
+    #: Callback sinks and the positional index of their callable
+    #: argument: ``call_soon(fn, ...)`` takes it first,
+    #: ``call_later(delay, fn, ...)`` second.
+    callback_sinks: tuple[tuple[str, int], ...] = (
+        ("call_soon", 0),
+        ("call_later", 1),
+        ("add_event_hook", 0),
+    )
+    #: Substrings identifying a free-list / pool container in a dotted
+    #: attribute chain (CONT002): ``self._cont_free.append(cont)``
+    #: recycles ``cont``.
+    pool_markers: tuple[str, ...] = ("free", "pool")
+    #: Calls that derive a named RNG stream from their arguments
+    #: (DET004): the argument must not be built from an unordered
+    #: collection or an ``id()``.
+    stream_factories: tuple[str, ...] = (
+        "stream",
+        "fault_stream",
+        "spawn",
+        "RandomStreams",
+        "default_rng",
+        "SeedSequence",
+    )
 
 
 @dataclass
 class LintContext:
-    """One file, parsed once, shared by every rule."""
+    """One file, parsed once, shared by every rule.
+
+    ``project`` and ``module`` carry the phase-one symbol table
+    (:mod:`repro.devtools.symbols`).  :func:`check_file` guarantees both
+    are populated -- directory runs share one cross-module model,
+    single-file entry points get a one-module model -- so rules use them
+    unconditionally.
+    """
 
     path: str
     source: str
     tree: ast.Module
     config: LintConfig = field(default_factory=LintConfig)
+    project: ProjectModel | None = None
+    module: ModuleInfo | None = None
 
     @property
     def lines(self) -> list[str]:
@@ -113,14 +162,16 @@ class Edit:
     """A single-line replacement produced by a rule fixer.
 
     ``line`` is 1-based; ``new_text`` replaces the whole line (or, when
-    ``insert=True``, is inserted *before* it).  Fixers only make edits
-    whose correctness is mechanical; anything judgement-shaped stays a
-    diagnostic.
+    ``insert=True``, is inserted *before* it; when ``delete=True``, the
+    line is removed and ``new_text`` is ignored).  Fixers only make
+    edits whose correctness is mechanical; anything judgement-shaped
+    stays a diagnostic.
     """
 
     line: int
     new_text: str
     insert: bool = False
+    delete: bool = False
 
 
 class Rule:
@@ -171,8 +222,9 @@ def register(cls: type[Rule]) -> type[Rule]:
 
 def all_rules(select: Iterable[str] | None = None) -> list[Rule]:
     """Instantiate every registered rule (optionally a subset by id)."""
-    # Importing the checks module populates the registry on first use.
+    # Importing the checks modules populates the registry on first use.
     import repro.devtools.checks  # noqa: F401  (import-for-side-effect)
+    import repro.devtools.checks_sched  # noqa: F401  (import-for-side-effect)
 
     wanted = None if select is None else {s.strip().upper() for s in select}
     rules = [cls() for rule_id, cls in _REGISTRY.items() if wanted is None or rule_id in wanted]
@@ -183,31 +235,73 @@ def all_rules(select: Iterable[str] | None = None) -> list[Rule]:
     return rules
 
 
+def single_file_project(
+    path: str, tree: ast.Module, config: LintConfig
+) -> tuple[ProjectModel, ModuleInfo]:
+    """A one-module symbol table for single-file entry points."""
+    module = summarise_module(
+        path,
+        tree,
+        schedule_primitives=config.schedule_primitives,
+        callback_sinks=config.callback_sinks,
+    )
+    project = ProjectModel()
+    project.add_module(module)
+    return project, module
+
+
+def registered_rule_ids() -> frozenset[str]:
+    """Every rule id the registry knows (for pragma validation)."""
+    import repro.devtools.checks  # noqa: F401  (import-for-side-effect)
+    import repro.devtools.checks_sched  # noqa: F401  (import-for-side-effect)
+
+    return frozenset(_REGISTRY)
+
+
 def check_file(
     path: str,
     source: str,
     config: LintConfig | None = None,
     rules: Sequence[Rule] | None = None,
+    project: ProjectModel | None = None,
+    tree: ast.Module | None = None,
 ) -> list[Diagnostic]:
     """Run *rules* (default: all) over one file's source.
 
-    Returns diagnostics sorted by location; suppression filtering happens
-    in the runner so callers can also inspect raw findings.
+    Phase two of the two-phase engine: *project* is the cross-module
+    symbol table built by phase one (``lint_paths``); when absent a
+    one-module model is built so rules always see ``ctx.project``.
+    Returns diagnostics sorted by location; suppression filtering
+    happens in the runner so callers can also inspect raw findings.
     """
     config = config or LintConfig()
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Diagnostic(
-                path=_posix(path),
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1 if exc.offset is not None else 1,
-                rule="E999",
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
-    ctx = LintContext(path=path, source=source, tree=tree, config=config)
+    if tree is None:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [
+                Diagnostic(
+                    path=_posix(path),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1 if exc.offset is not None else 1,
+                    rule="E999",
+                    message=f"syntax error: {exc.msg}",
+                )
+            ]
+    if project is None:
+        project, module = single_file_project(path, tree, config)
+    else:
+        module = project.modules.get(
+            module_name_for_path(path)
+        ) or single_file_project(path, tree, config)[1]
+    ctx = LintContext(
+        path=path,
+        source=source,
+        tree=tree,
+        config=config,
+        project=project,
+        module=module,
+    )
     findings: list[Diagnostic] = []
     for rule in rules if rules is not None else all_rules():
         if rule.applies_to(ctx):

@@ -35,6 +35,27 @@ def _parse_rules(spec: str | None) -> frozenset[str]:
     return rules or ALL_RULES
 
 
+@dataclass(frozen=True)
+class Pragma:
+    """One ``# simlint:`` comment, kept whole for staleness auditing.
+
+    The by-line/file-wide maps answer "is this finding silenced?"; the
+    pragma list answers the inverse question LNT001 asks -- "did this
+    waiver silence *anything*?" -- which needs each comment's own
+    location, scope, and rule list, plus where the pragma text sits in
+    the line so ``--fix`` can strip it surgically.
+    """
+
+    line: int
+    col: int
+    #: ``"ignore"`` or ``"ignore-file"``.
+    scope: str
+    #: Rule ids named in the bracket ({"*"} for a bare pragma).
+    rules: frozenset[str]
+    #: Character offsets of the matched pragma text within the line.
+    span: tuple[int, int]
+
+
 @dataclass
 class Suppressions:
     """Parsed suppression pragmas of one source file."""
@@ -43,6 +64,8 @@ class Suppressions:
     by_line: dict[int, frozenset[str]] = field(default_factory=dict)
     #: rule ids silenced file-wide ({"*"} = all).
     file_wide: frozenset[str] = frozenset()
+    #: Every pragma comment found, in source order (for LNT001).
+    pragmas: list[Pragma] = field(default_factory=list)
 
     def is_suppressed(self, line: int, rule: str) -> bool:
         """Whether *rule* is silenced at *line*."""
@@ -72,10 +95,20 @@ def scan_suppressions(source: str) -> Suppressions:
             if match is None:
                 continue
             rules = _parse_rules(match.group("rules"))
+            line = token.start[0]
+            pragma_col = token.start[1] + match.start()
+            suppressions.pragmas.append(
+                Pragma(
+                    line=line,
+                    col=pragma_col,
+                    scope=match.group("scope"),
+                    rules=rules,
+                    span=(pragma_col, token.start[1] + match.end()),
+                )
+            )
             if match.group("scope") == "ignore-file":
                 file_wide.update(rules)
             else:
-                line = token.start[0]
                 existing = suppressions.by_line.get(line, frozenset())
                 suppressions.by_line[line] = existing | rules
     except tokenize.TokenError:

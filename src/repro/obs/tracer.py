@@ -56,6 +56,7 @@ SPAN_KINDS = (
     "online.estimate",
     "online.control",
     "online.replan",
+    "sanitizer.perturbation",
 )
 
 

@@ -21,9 +21,10 @@ disk awake at once.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Any, Dict, Generator, List, Optional, TYPE_CHECKING
 
 from repro.core.protocol import RepairCommand, RepairComplete
+from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.server import StorageServer
@@ -47,7 +48,7 @@ class ReplicationManager:
 
     # -- the repair loop -------------------------------------------------------
 
-    def _loop(self):
+    def _loop(self) -> Generator[Event, Any, None]:
         interval = self.config.rereplication_check_interval_s
         timeout = 10.0 * interval
         while True:

@@ -16,7 +16,7 @@ structure, every run produces an identical event sequence.  All simulated
 time is in **seconds** (float).
 """
 
-from repro.sim.engine import Simulator, StopSimulation
+from repro.sim.engine import LanePerturbation, Simulator, StopSimulation
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.monitor import Recorder, TallyStat, TimeWeightedStat
 from repro.sim.process import Interrupt, Process
@@ -29,6 +29,7 @@ __all__ = [
     "Container",
     "Event",
     "Interrupt",
+    "LanePerturbation",
     "PriorityResource",
     "Process",
     "RandomStreams",

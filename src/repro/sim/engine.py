@@ -50,6 +50,48 @@ class EmptySchedule(Exception):
     """Raised by :meth:`Simulator.step` when no events remain."""
 
 
+class LanePerturbation:
+    """Seeded chaos scheduler for same-``(time, priority)`` lanes.
+
+    The engine's dispatch order within one ``(time, priority)``
+    equivalence class is an implementation detail (FIFO by sequence
+    number); correct models must not depend on it.  When installed via
+    :meth:`Simulator.set_lane_perturbation`, the pop path draws from
+    this generator to pick *any* member of the current legal window
+    instead of the head, exploring alternative-but-legal schedules.
+    Two runs with the same seed make identical picks, so a perturbed
+    schedule is itself reproducible.
+
+    The generator is an inline xorshift64* so the chaos mode depends on
+    neither :mod:`random` nor numpy (keeping the engine DET001-clean
+    and free of global-RNG interference).
+    """
+
+    __slots__ = ("seed", "picks", "_state")
+
+    _MASK = (1 << 64) - 1
+    _MULT = 0x2545F4914F6CDD1D
+
+    def __init__(self, seed: int) -> None:
+        self.seed = int(seed)
+        #: Total randomised picks drawn (diagnostic: how much of the
+        #: run actually had a window wider than one event).
+        self.picks = 0
+        state = (self.seed ^ 0x9E3779B97F4A7C15) & self._MASK
+        self._state = state or 0x106689D45497FDB5
+
+    def pick(self, n: int) -> int:
+        """Return a pseudo-random index in ``[0, n)``."""
+        mask = self._MASK
+        x = self._state
+        x ^= x >> 12
+        x = (x ^ (x << 25)) & mask
+        x ^= x >> 27
+        self._state = x
+        self.picks += 1
+        return (((x * self._MULT) & mask) >> 32) % n
+
+
 class Continuation(Event):
     """Engine-internal carrier for a scheduled plain callable.
 
@@ -94,6 +136,13 @@ class Simulator:
         assert proc.value == "done"
     """
 
+    #: When set (class-wide), every new Simulator starts with a lane
+    #: perturbation installed at this seed.  The race sanitizer uses
+    #: this to flip entire cluster builds into chaos mode without
+    #: threading a parameter through every constructor; production code
+    #: leaves it ``None`` and pays nothing.
+    default_lane_perturbation_seed: Optional[int] = None
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._heap: list[tuple[float, int, int, Event]] = []
@@ -115,6 +164,14 @@ class Simulator:
         self.tracer: Optional["Tracer"] = None
         #: The process currently being resumed (used by Interrupt plumbing).
         self.active_process: Optional[Process] = None
+        #: Chaos-scheduler state (see :meth:`set_lane_perturbation`).
+        self._perturb: Optional[LanePerturbation] = None
+        #: The event the active run() terminates on; the perturbed pop
+        #: path never permutes past it, so chaos mode cannot change
+        #: *which* events a bounded run processes, only their order.
+        self._stop_event: Optional[Event] = None
+        if self.default_lane_perturbation_seed is not None:
+            self._perturb = LanePerturbation(self.default_lane_perturbation_seed)
 
     # -- clock ---------------------------------------------------------------
 
@@ -280,6 +337,79 @@ class Simulator:
         """The installed event hooks, in dispatch order (read-only view)."""
         return tuple(self._event_hooks)
 
+    def set_lane_perturbation(self, seed: Optional[int]) -> Optional[LanePerturbation]:
+        """Install (or, with ``None``, remove) the chaos scheduler.
+
+        With a perturbation installed the engine picks a pseudo-random
+        member of each same-``(time, priority)`` dispatch window instead
+        of the FIFO head -- a legal reordering under the engine's
+        documented contract, but one that exposes any model logic that
+        accidentally depends on submission order.  The run loop routes
+        through :meth:`step` while a perturbation is installed; the
+        inlined hot path is unaffected when it is not.
+
+        Returns the installed :class:`LanePerturbation` (or ``None``),
+        so callers can inspect ``picks`` afterwards.
+        """
+        self._perturb = LanePerturbation(seed) if seed is not None else None
+        return self._perturb
+
+    @property
+    def lane_perturbation(self) -> Optional[LanePerturbation]:
+        """The installed chaos scheduler, if any (read-only view)."""
+        return self._perturb
+
+    def _pop_next_perturbed(self) -> Event:
+        """Chaos-mode variant of :meth:`_pop_next`.
+
+        The permutation window is the run of lane entries that share the
+        head's ``(time, priority)`` class, truncated at the active run's
+        stop event: everything strictly before the stop event may run in
+        any order, but nothing may leapfrog it (that would change the
+        *set* of dispatched events, not just their order).  A heap entry
+        at ``now`` still preempts on strictly higher priority; at equal
+        priority it simply drains after the lane, which is itself one of
+        the legal orderings of the class.
+        """
+        lanes = self._lanes
+        if lanes[0]:
+            priority, lane = 0, lanes[0]
+        elif lanes[1]:
+            priority, lane = 1, lanes[1]
+        elif lanes[2]:
+            priority, lane = 2, lanes[2]
+        else:
+            try:
+                self._now, _, _, event = heapq.heappop(self._heap)
+            except IndexError:
+                raise EmptySchedule() from None
+            return event
+        heap = self._heap
+        if heap:
+            top = heap[0]
+            if top[0] == self._now and top[1] < priority:
+                return heapq.heappop(heap)[3]
+        window = len(lane)
+        stop = self._stop_event
+        if stop is not None and window > 1:
+            for index, entry in enumerate(lane):
+                if entry[1] is stop:
+                    window = index
+                    break
+        if window <= 1:
+            return lane.popleft()[1]
+        assert self._perturb is not None
+        pick = self._perturb.pick(window)
+        if pick == 0:
+            return lane.popleft()[1]
+        # Extract the element at `pick` while preserving the relative
+        # order of everything else: O(window) deque rotation, paid only
+        # in chaos mode.
+        lane.rotate(-pick)
+        event = lane.popleft()[1]
+        lane.rotate(pick)
+        return event
+
     def _pop_next(self) -> Event:
         """Remove and return the next event in ``(time, priority, seq)``
         order, advancing the clock when it comes off the heap.
@@ -317,7 +447,10 @@ class Simulator:
         the exception of any *unhandled* failed event so errors in processes
         cannot vanish silently.
         """
-        event = self._pop_next()
+        if self._perturb is not None:
+            event = self._pop_next_perturbed()
+        else:
+            event = self._pop_next()
         self._events_processed += 1
         for hook in self._event_hooks:
             hook(self._now, event)
@@ -370,6 +503,10 @@ class Simulator:
                 self.schedule(stop, delay=at - self._now, priority=URGENT)
             assert stop.callbacks is not None
             stop.callbacks.append(self._stop_callback)
+            # Chaos mode must not permute other events past the stop
+            # event (that would change which events the bounded run
+            # dispatches at all, not merely their order).
+            self._stop_event = stop
 
         heappop = heapq.heappop
         heap = self._heap
@@ -383,9 +520,10 @@ class Simulator:
         #: one local increment instead of two attribute operations.
         dispatched = 0
         try:
-            if self._event_hooks:
-                # Observed run: dispatch through step() so every hook sees
-                # every event.  Only pays when hooks are installed.
+            if self._event_hooks or self._perturb is not None:
+                # Observed or chaos-scheduled run: dispatch through
+                # step() so every hook sees every event and perturbed
+                # pops take the slow path.  Only pays when installed.
                 while True:
                     self.step()
             # The step() body is inlined here: one Python-level call per
@@ -445,6 +583,7 @@ class Simulator:
             return None
         finally:
             self._events_processed += dispatched
+            self._stop_event = None
             # Defuse the stop event on every exit path so a later run()
             # cannot trip over it.  Without this, an exception escaping a
             # process (or an `until` event that never fired) leaves

@@ -1,0 +1,20 @@
+"""CONT001 fixture: late-bound loop variables in scheduled callbacks."""
+
+
+def schedule_spindowns(sim, disks):
+    for disk in disks:
+        sim.call_soon(lambda: disk.spin_down())  # bad: late-bound `disk`
+        sim.call_later(5.0, lambda: disk.wake())  # bad: late-bound `disk`
+        sim.call_soon(lambda d=disk: d.spin_down())  # clean: default-bound
+
+
+def register_hooks(sim, events):
+    for event in events:
+        def fire():
+            event.succeed()
+
+        event.callbacks.append(fire)  # bad: `fire` captures `event`
+
+
+def outside_any_loop(sim, disk):
+    sim.call_soon(lambda: disk.spin_down())  # clean: nothing late-bound

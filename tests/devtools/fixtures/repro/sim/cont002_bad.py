@@ -1,0 +1,23 @@
+"""CONT002 fixture: pooled carriers referenced past their recycle."""
+
+
+class Dispatcher:
+    def dispatch(self):
+        event = self.queue.popleft()
+        fn = event._fn
+        value = event._value
+        self._cont_free.append(event)
+        fn(value)  # clean: locals copied out before the recycle
+        self.last = event  # bad: retained after recycle
+
+    def drain(self, log):
+        recycle = self._cont_free.append
+        for event in self.pending:
+            recycle(event)
+            log.append(event)  # bad: retained via the bound recycler form
+
+    def clean_loop(self):
+        while self.pending:
+            event = self.pending.popleft()
+            event._fn(event._value)
+            self._cont_free.append(event)  # clean: rebound at loop top

@@ -1,0 +1,11 @@
+"""DET004 fixture: RNG streams derived from unordered sources."""
+
+
+def make_streams(streams, nodes, mapping):
+    a = streams.stream(set(nodes))  # bad: set(...) entropy
+    b = streams.fault_stream(mapping.keys())  # bad: dict-view entropy
+    c = streams.spawn(id(nodes))  # bad: per-process address
+    d = streams.stream(f"repair:{set(nodes)}")  # bad: set inside f-string
+    e = streams.stream(sorted(set(nodes)))  # clean: normalised
+    f = streams.stream(len({1, 2}))  # clean: len() is order-insensitive
+    return a, b, c, d, e, f

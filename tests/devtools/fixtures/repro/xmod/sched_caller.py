@@ -1,0 +1,18 @@
+"""Cross-module fixture, caller half: hazards routed through helpers.
+
+Linted alone this file is clean -- `enqueue` and `gauge` are opaque.
+Linted together with `sched_helpers.py` the symbol table knows that
+`enqueue` schedules and `gauge` retains its third argument.
+"""
+
+from repro.xmod.sched_helpers import enqueue, gauge
+
+
+def notify(sim, waiters):
+    for waiter in set(waiters):  # SIM003 only with the sibling in the model
+        enqueue(sim, waiter)
+
+
+def register_gauges(registry, disks):
+    for disk in disks:
+        gauge(registry, disk.name, lambda: disk.energy())  # CONT001 likewise

@@ -1,0 +1,13 @@
+"""Cross-module fixture, callee half: helpers that schedule or retain.
+
+`sched_caller.py` only misbehaves *through* these -- the hazards are
+invisible unless both files are in the project model.
+"""
+
+
+def enqueue(sim, fn):
+    sim.call_soon(fn)
+
+
+def gauge(registry, name, fn):
+    registry[name] = fn

@@ -1,0 +1,24 @@
+"""SIM003 fixture: same-(time, priority) order driven by set iteration.
+
+Lives outside the DET003 ordered packages on purpose: SIM003 applies
+everywhere something schedules, independent of DET003's scoping.
+"""
+
+
+def kick(sim, fn):
+    sim.call_soon(fn)
+
+
+def notify_direct(sim, waiters):
+    for waiter in set(waiters):  # bad: submission order = hash order
+        sim.call_soon(waiter)
+
+
+def notify_indirect(sim, waiters):
+    for waiter in set(waiters):  # bad: `kick` schedules one hop away
+        kick(sim, waiter)
+
+
+def harmless(totals):
+    for value in set(totals):  # clean: no scheduling in the body
+        print(value)

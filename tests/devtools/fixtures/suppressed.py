@@ -5,6 +5,6 @@ import time
 
 
 def sample():
-    value = random.random()  # simlint: ignore[DET001] -- demo only
+    value = random.random()
     stamp = time.time()  # simlint: ignore[*]
     return value, stamp

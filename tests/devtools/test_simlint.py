@@ -122,6 +122,77 @@ class TestRuleFindings:
         assert findings_for(fixture("clean.py")) == []
 
 
+class TestContinuationRules:
+    """The simlint v2 rules: CFG/dataflow + cross-module resolution."""
+
+    def test_cont001_flags_late_bound_loop_vars(self):
+        assert findings_for(fixture("repro", "sim", "cont001_bad.py")) == [
+            ("CONT001", 6),  # call_soon(lambda: disk...)
+            ("CONT001", 7),  # call_later(5.0, lambda: disk...)
+            ("CONT001", 13),  # def fire() capturing `event`, appended
+        ]
+
+    def test_cont002_flags_retention_past_recycle(self):
+        assert findings_for(fixture("repro", "sim", "cont002_bad.py")) == [
+            ("CONT002", 11),  # self.last = event after append
+            ("CONT002", 17),  # log.append(event) after bound recycler
+        ]
+
+    def test_sim003_flags_unordered_scheduling_everywhere(self):
+        # The fixture lives outside DET003's ordered packages on purpose.
+        assert findings_for(fixture("repro", "xsched", "sim003_bad.py")) == [
+            ("SIM003", 13),  # direct call_soon in a set loop
+            ("SIM003", 18),  # via kick(), one interprocedural hop
+        ]
+
+    def test_det004_flags_unordered_stream_derivation(self):
+        assert findings_for(fixture("repro", "sim", "det004_bad.py")) == [
+            ("DET004", 5),  # set(...)
+            ("DET004", 6),  # .keys()
+            ("DET004", 7),  # id(...)
+            ("DET004", 8),  # set inside an f-string
+        ]
+
+    def test_cross_module_hazards_need_the_directory_model(self):
+        # Alone, the caller is clean: `enqueue`/`gauge` are opaque names.
+        assert findings_for(fixture("repro", "xmod", "sched_caller.py")) == []
+        # With the sibling module in the project model both hazards appear.
+        assert findings_for(fixture("repro", "xmod")) == [
+            ("SIM003", 12),  # enqueue() schedules (resolved cross-module)
+            ("CONT001", 18),  # gauge() retains its third argument
+        ]
+
+
+class TestUnusedSuppressions:
+    def test_lnt001_flags_stale_pragmas(self):
+        assert findings_for(fixture("lnt001_bad.py")) == [
+            ("LNT001", 3),  # DET003 never fires on the import line
+            ("LNT001", 5),  # file-wide SIM002 waiver silences nothing
+            ("LNT001", 9),  # DET002 never fires on sum()
+        ]
+
+    def test_lnt001_fixer_rewrites_strips_and_deletes(self, tmp_path):
+        dest = tmp_path / "lnt001_bad.py"
+        shutil.copy(fixture("lnt001_bad.py"), dest)
+        result = lint_paths([str(dest)])
+        assert apply_fixes(result) == 3
+        fixed = open(dest).read()
+        # Partially-stale bracket keeps the rule that still fires.
+        assert "import random  # simlint: ignore[DET001]" in fixed
+        # The pragma-only line is deleted outright.
+        assert "ignore-file" not in fixed
+        # A fully-stale trailing pragma is stripped, code kept.
+        assert "    total = sum(values)\n" in fixed
+        assert "DET002" not in fixed
+        assert lint_paths([str(dest)]).ok
+
+    def test_select_scopes_the_staleness_judgement(self):
+        # Under --select DET001 a DET003 waiver is not judged (DET003
+        # did not run), so only genuinely-judgeable entries fire.
+        result = lint_paths([fixture("lnt001_bad.py")], select=["DET001", "LNT001"])
+        assert [(d.rule, d.line) for d in result.diagnostics] == []
+
+
 class TestSuppression:
     def test_pragmas_silence_findings_but_stay_visible(self):
         result = lint_paths([fixture("suppressed.py")])
@@ -135,7 +206,9 @@ class TestSuppression:
     def test_wrong_rule_id_does_not_suppress(self):
         source = "import random  # simlint: ignore[DET002]\n"
         active, suppressed = lint_source("scratch/mod.py", source)
-        assert [d.rule for d in active] == ["DET001"]
+        # The import still fires, and the mistargeted pragma is itself
+        # flagged as silencing nothing (LNT001).
+        assert [d.rule for d in active] == ["DET001", "LNT001"]
         assert suppressed == []
 
 
@@ -147,6 +220,12 @@ class TestRunner:
     def test_unknown_rule_id_raises(self):
         with pytest.raises(ValueError):
             all_rules(["NOPE99"])
+
+    def test_registry_has_at_least_ten_rules(self):
+        rules = all_rules()
+        assert len(rules) >= 10
+        ids = {r.id for r in rules}
+        assert {"CONT001", "CONT002", "SIM003", "DET004", "LNT001"} <= ids
 
     def test_syntax_error_reports_e999(self):
         active, _ = lint_source("scratch/broken.py", "def f(:\n")
