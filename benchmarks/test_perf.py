@@ -1,8 +1,8 @@
 """Tracked performance benchmark: writes ``BENCH_perf.json``.
 
-Runs the six perf families (engine throughput, continuation dispatch,
-single-run and online-run wall clock, mean-field backend, and
-serial-vs-parallel speedup) at benchmark scale and persists the JSON
+Runs the seven perf families (engine throughput, continuation dispatch,
+single-run and online-run wall clock, mean-field backend, SSD-buffer
+run, and serial-vs-parallel speedup) at benchmark scale and persists the JSON
 report at the repository root so successive commits can diff it.  The
 assertions here are about *validity* (schema complete, parallel results
 identical to serial), never about absolute speed -- machines differ.
@@ -46,6 +46,8 @@ def test_perf_benchmark_writes_valid_report():
     assert report["online_run"]["runs_per_s"] > 0
     assert report["meanfield_run"]["n_points"] > 0
     assert report["meanfield_run"]["speedup_vs_discrete"] > 0
+    assert report["ssd_run"]["runs_per_s"] > 0
+    assert report["ssd_run"]["write_amplification"] > 0
     assert report["parallel"]["identical_metrics"] is True
     assert report["parallel"]["jobs_effective"] >= 1
 
@@ -114,6 +116,27 @@ def test_history_carries_v3_forward(tmp_path):
     assert latest["dispatch_events_per_s"] > 0
     assert latest["meanfield_points_per_s"] > 0
     assert latest["parallel_pool_available"] in (True, False)
+
+
+def test_history_carries_v4_forward(tmp_path):
+    out = tmp_path / "BENCH_perf.json"
+    v4_entry = {
+        "ts": 3.0,
+        "engine_events_per_s": 12.0,
+        "dispatch_events_per_s": 40.0,
+        "meanfield_points_per_s": 5.0,
+        "parallel_pool_available": True,
+        "parallel_speedup": 1.1,
+    }
+    out.write_text(
+        json.dumps({"schema": "eevfs-bench-perf/4", "history": [v4_entry]})
+    )
+
+    report = run_perf_benchmark(n_requests=40, out_path=out)
+    assert report["history"][0] == v4_entry  # v4 rows survive untouched
+    latest = report["history"][-1]
+    assert latest["ssd_run_wall_s"] > 0
+    assert latest["ssd_run_runs_per_s"] > 0
 
 
 def test_check_floor_flags_regressions_and_missing_keys():

@@ -14,11 +14,14 @@ must land within a few percent of them on unsaturated workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 from repro.core.config import ClusterSpec
 from repro.disk.specs import DiskSpec
 from repro.traces.model import Trace
+
+if TYPE_CHECKING:
+    from repro.core.filesystem import RunResult
 
 
 @dataclass(frozen=True)
@@ -138,7 +141,7 @@ def predicted_savings_fraction(
     return 1.0 - pf.total_j / npf.total_j
 
 
-def observed_sleep_fraction(result) -> float:
+def observed_sleep_fraction(result: "RunResult") -> float:
     """Mean standby fraction of the data disks in a measured RunResult."""
     total = 0.0
     count = 0

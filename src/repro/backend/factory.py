@@ -1,0 +1,117 @@
+"""Backend construction: spec -> device, config -> tier spec.
+
+The storage node does not name device classes; it resolves each tier's
+spec from the run config (:func:`tier_spec`) and hands it to
+:func:`build_backend`, which dispatches on the spec type.  Adding a
+backend means adding a spec type and a branch here -- the node, power
+manager and report assembly stay untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, TYPE_CHECKING, Union
+
+from repro.backend.hdd import HDDBackend
+from repro.backend.protocol import StorageBackend
+from repro.backend.ssd import SSD_CATALOG, SSDBackend, SSDSpec
+from repro.disk.service import ServiceTimeModel
+from repro.disk.specs import DiskSpec
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from repro.core.config import EEVFSConfig
+
+#: What a tier's spec can resolve to.
+TierSpec = Union[DiskSpec, SSDSpec]
+
+
+def build_backend(
+    sim: Simulator,
+    spec: TierSpec,
+    name: str,
+    service_model: Optional[ServiceTimeModel] = None,
+    auto_sleep_after: Optional[float] = None,
+    idle_action: str = "standby",
+    second_stage_after: Optional[float] = None,
+    spinup_jitter: float = 0.0,
+    rng: Optional["np.random.Generator"] = None,
+    record_history: bool = False,
+) -> StorageBackend:
+    """Construct the backend a spec describes.
+
+    The keyword surface is ``SimDisk``'s; the SSD branch rejects the
+    spindle-only knobs (low-speed idle action, service model) instead of
+    silently ignoring them.
+    """
+    if isinstance(spec, SSDSpec):
+        if idle_action != "standby":
+            raise ValueError(
+                f"{name}: idle_action={idle_action!r} needs a spinning drive; "
+                f"an SSD has no low-RPM operating point"
+            )
+        if second_stage_after is not None:
+            raise ValueError(f"{name}: second_stage_after needs a spinning drive")
+        if service_model is not None:
+            raise ValueError(f"{name}: service_model applies to drive backends only")
+        return SSDBackend(
+            sim,
+            spec,
+            name=name,
+            auto_sleep_after=auto_sleep_after,
+            spinup_jitter=spinup_jitter,
+            rng=rng,
+            record_history=record_history,
+        )
+    return HDDBackend(
+        sim,
+        spec,
+        name=name,
+        service_model=service_model,
+        auto_sleep_after=auto_sleep_after,
+        idle_action=idle_action,
+        second_stage_after=second_stage_after,
+        spinup_jitter=spinup_jitter,
+        rng=rng,
+        record_history=record_history,
+    )
+
+
+def resolve_ssd_spec(config: "EEVFSConfig") -> SSDSpec:
+    """The SSD spec a config names, with its sweep overrides applied."""
+    base = SSD_CATALOG.get(config.ssd_spec)
+    if base is None:
+        known = ", ".join(sorted(SSD_CATALOG))
+        raise ValueError(f"unknown ssd_spec {config.ssd_spec!r} (catalog: {known})")
+    overrides: dict = {}
+    if config.ssd_capacity_mb is not None:
+        overrides["capacity_bytes"] = config.ssd_capacity_mb * 1024 * 1024
+    if config.ssd_channels is not None:
+        overrides["n_channels"] = config.ssd_channels
+    if config.ssd_gc_free_fraction is not None:
+        overrides["gc_free_fraction"] = config.ssd_gc_free_fraction
+    if not overrides:
+        return base
+    return replace(base, **overrides)
+
+
+def tier_spec(
+    config: "EEVFSConfig", tier: str, hdd_spec: DiskSpec
+) -> TierSpec:
+    """Resolve one tier's device spec from the run config.
+
+    *tier* is ``"buffer"`` or ``"data"``; *hdd_spec* is the node's
+    drive spec for that tier, used verbatim when the tier stays on the
+    HDD backend.
+    """
+    if tier == "buffer":
+        backend = config.buffer_backend
+    elif tier == "data":
+        backend = config.data_backend
+    else:
+        raise ValueError(f"unknown tier: {tier!r}")
+    if backend == "hdd":
+        return hdd_spec
+    return resolve_ssd_spec(config)

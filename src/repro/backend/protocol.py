@@ -1,0 +1,118 @@
+"""The pluggable storage-backend protocol.
+
+A *backend* is anything a :class:`~repro.core.node.StorageNode` can put
+behind one of its disk slots: the paper's spinning drive
+(:class:`~repro.disk.drive.SimDisk`), the FTL-level SSD model
+(:class:`~repro.backend.ssd.SSDBackend`), or any future device model.
+The node, power manager, fault injector and report assembly all talk to
+this surface and nothing else, so a new backend plugs in without
+touching the core.
+
+The protocol is *structural* (:func:`typing.runtime_checkable`): a class
+satisfies it by shape, not by inheritance -- which is what lets the
+existing HDD model slot in untouched, with byte-identical metrics.
+
+Four interface groups, extracted from ``repro.disk``:
+
+* **service time** -- :meth:`StorageBackend.submit` and the served/byte
+  counters; how long an I/O takes is entirely the backend's business.
+* **energy state** -- the shared :class:`~repro.disk.states.DiskState`
+  machine and :class:`~repro.disk.energy.EnergyMeter` account
+  (``state``, ``meter``, ``energy_j``, ``transition_count``).
+* **idle threshold** -- the built-in idle timer and the sleep/wake
+  entry points the power manager drives (``request_sleep``, ``wake``,
+  ``set_idle_threshold``).
+* **capacity** -- exposed through :class:`BackendSpec`, alongside the
+  power economics that :func:`~repro.disk.energy.break_even_time` and
+  the predictive power manager read.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.disk.drive import DiskRequest, RequestKind
+from repro.disk.energy import EnergyMeter, PowerEnvelope
+from repro.disk.states import DiskState
+from repro.sim.monitor import TallyStat
+
+
+@runtime_checkable
+class BackendSpec(PowerEnvelope, Protocol):
+    """What every backend's device spec must expose.
+
+    Extends :class:`~repro.disk.energy.PowerEnvelope` (the
+    power-economics surface that :func:`~repro.disk.energy.break_even_time`
+    and :func:`~repro.core.prediction.effective_threshold` consume) with
+    the capacity interface; for an SSD the "spin" transitions map onto
+    DEVSLP entry/exit.
+    """
+
+    @property
+    def capacity_bytes(self) -> int: ...
+
+
+@runtime_checkable
+class StorageBackend(Protocol):
+    """The device surface the storage node and power manager drive.
+
+    All members are satisfied structurally; see the module docstring for
+    the interface groups.  ``auto_sleep_after`` is writable because
+    :meth:`set_idle_threshold` retargets it mid-run (the online
+    controller's knob).
+    """
+
+    name: str
+    inflight: int
+    requests_served: int
+    bytes_served: int
+    auto_sleep_after: Optional[float]
+    spinup_failures: int
+
+    @property
+    def spec(self) -> BackendSpec: ...
+
+    @property
+    def meter(self) -> EnergyMeter: ...
+
+    @property
+    def service_times(self) -> TallyStat: ...
+
+    @property
+    def state(self) -> DiskState: ...
+
+    @property
+    def is_sleeping(self) -> bool: ...
+
+    @property
+    def transition_count(self) -> int: ...
+
+    @property
+    def utilization(self) -> float: ...
+
+    def submit(
+        self,
+        size_bytes: int,
+        kind: RequestKind = ...,
+        sequential: bool = ...,
+        tag: object = None,
+        priority: int = ...,
+    ) -> DiskRequest: ...
+
+    def request_sleep(self) -> bool: ...
+
+    def wake(self) -> bool: ...
+
+    def set_idle_threshold(self, seconds: float) -> None: ...
+
+    def set_slowdown(self, factor: float) -> None: ...
+
+    def inject_spinup_failures(self, count: int, backoff_s: float = ...) -> None: ...
+
+    def fail(self) -> None: ...
+
+    def repair(self) -> None: ...
+
+    def finalize(self) -> None: ...
+
+    def energy_j(self) -> float: ...

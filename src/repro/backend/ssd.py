@@ -1,0 +1,883 @@
+"""The SSD backend: an FTL-level flash device behind the protocol.
+
+Where :class:`~repro.disk.drive.SimDisk` models a spindle (positioning
++ transfer + spin-up penalties), this models a small flash device the
+way the buffer tier would actually see one:
+
+* **N channels** serve NAND operations in parallel; each channel is its
+  own FIFO (priority) queue with per-page read/program timing and
+  per-block erase timing.
+* A small **write cache** accepts host writes at interface speed and
+  destages them to flash in the background (FIFO, with backpressure
+  once the cache is full).  Overwriting a still-dirty extent is
+  absorbed -- one program, several host writes.
+* A **page-mapped FTL** (:mod:`repro.backend.ftl`) places destaged
+  extents, and **greedy GC** reclaims space when a channel runs low --
+  relocation and erase traffic contends with host I/O on the same
+  channel queues, which is exactly the write-amplification mechanism.
+* **Power states** reuse the :class:`~repro.disk.states.DiskState`
+  machine: STANDBY is DEVSLP, SPIN_UP/SPIN_DOWN are its (fast) exit and
+  entry.  The :class:`~repro.disk.energy.EnergyMeter` integrates the
+  rail power; per-operation NAND energies accrue separately and are
+  added in :meth:`SSDBackend.energy_j`.
+
+Observability: ``ssd.destage`` spans wrap each background extent
+write-back, ``ssd.gc`` spans each garbage-collection round, and
+``ssd.channel`` spans each channel job.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Any, Deque, Dict, Generator, List, Optional, TYPE_CHECKING
+
+from repro.backend.ftl import ExtentMap, PageMappedFTL
+from repro.disk.drive import (
+    DiskFailureError,
+    DiskRequest,
+    PRIORITY_BACKGROUND,
+    PRIORITY_DEMAND,
+    RequestKind,
+)
+from repro.disk.energy import EnergyMeter
+from repro.disk.specs import LowSpeedProfile
+from repro.disk.states import DiskState
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+from repro.sim.monitor import TallyStat
+from repro.sim.process import Interrupt
+from repro.sim.resources import PriorityStore, Store
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from repro.obs.tracer import Span
+
+
+@dataclass(frozen=True)
+class SSDSpec:
+    """Physical parameters of a simulated SSD.
+
+    The ``spinup_*``/``spindown_*`` properties map DEVSLP exit/entry
+    onto the :class:`~repro.backend.protocol.BackendSpec` surface, so
+    break-even analysis and the predictive power manager treat an SSD
+    exactly like a (very cheap to sleep) drive.
+    """
+
+    name: str
+    capacity_bytes: int
+    n_channels: int = 4
+    page_bytes: int = 64 * 1024
+    pages_per_block: int = 64
+    overprovision: float = 0.07
+    gc_free_fraction: float = 0.10
+    #: Per-page NAND timings (page = one superpage across planes).
+    page_read_s: float = 0.0002
+    page_program_s: float = 0.001
+    block_erase_s: float = 0.003
+    #: Per-operation NAND energies (on top of the rail power).
+    page_read_energy_j: float = 50e-6
+    page_program_energy_j: float = 400e-6
+    block_erase_energy_j: float = 1.5e-3
+    #: Host-interface write cache (DRAM): size and accept bandwidth.
+    write_cache_bytes: int = 32 * 1024 * 1024
+    cache_bandwidth_bps: float = 400e6
+    #: Rail power by state; standby is DEVSLP.
+    power_active_w: float = 2.6
+    power_idle_w: float = 0.65
+    power_standby_w: float = 0.005
+    #: DEVSLP exit/entry: duration and energy.
+    wake_s: float = 0.025
+    wake_energy_j: float = 0.02
+    sleep_s: float = 0.005
+    sleep_energy_j: float = 0.002
+    #: Endurance rating (program/erase cycles per block).
+    rated_erase_cycles: int = 3000
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < self.page_bytes:
+            raise ValueError(f"{self.name}: capacity below one page")
+        if self.n_channels < 1:
+            raise ValueError(f"{self.name}: n_channels must be >= 1")
+        if self.page_bytes < 1 or self.pages_per_block < 1:
+            raise ValueError(f"{self.name}: page/block geometry must be positive")
+        if not 0 < self.overprovision <= 0.5:
+            raise ValueError(f"{self.name}: overprovision must be in (0, 0.5]")
+        if not 0 < self.gc_free_fraction < 0.5:
+            raise ValueError(f"{self.name}: gc_free_fraction must be in (0, 0.5)")
+        for field_name in (
+            "page_read_s",
+            "page_program_s",
+            "block_erase_s",
+            "cache_bandwidth_bps",
+            "wake_s",
+            "sleep_s",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{self.name}: {field_name} must be > 0")
+        for field_name in (
+            "page_read_energy_j",
+            "page_program_energy_j",
+            "block_erase_energy_j",
+            "wake_energy_j",
+            "sleep_energy_j",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{self.name}: {field_name} must be >= 0")
+        if self.write_cache_bytes < 0:
+            raise ValueError(f"{self.name}: write_cache_bytes must be >= 0")
+        if not self.power_standby_w < self.power_idle_w <= self.power_active_w:
+            raise ValueError(
+                f"{self.name}: want standby < idle <= active power, got "
+                f"{self.power_standby_w!r} / {self.power_idle_w!r} / "
+                f"{self.power_active_w!r}"
+            )
+        if self.wake_energy_j < self.power_standby_w * self.wake_s:
+            raise ValueError(f"{self.name}: wake energy below the standby floor")
+        if self.rated_erase_cycles < 1:
+            raise ValueError(f"{self.name}: rated_erase_cycles must be >= 1")
+
+    # -- BackendSpec power economics (DEVSLP mapped onto "spin") -------------------
+
+    @property
+    def spinup_s(self) -> float:
+        return self.wake_s
+
+    @property
+    def spindown_s(self) -> float:
+        return self.sleep_s
+
+    @property
+    def spinup_energy_j(self) -> float:
+        return self.wake_energy_j
+
+    @property
+    def spindown_energy_j(self) -> float:
+        return self.sleep_energy_j
+
+    @property
+    def spinup_power_w(self) -> float:
+        return self.wake_energy_j / self.wake_s
+
+    @property
+    def spindown_power_w(self) -> float:
+        return self.sleep_energy_j / self.sleep_s
+
+    @property
+    def low_speed(self) -> Optional[LowSpeedProfile]:
+        """SSDs have no low-RPM operating point."""
+        return None
+
+    @property
+    def n_logical_pages(self) -> int:
+        return self.capacity_bytes // self.page_bytes
+
+    def pages_for(self, size_bytes: int) -> int:
+        """Pages an extent of *size_bytes* occupies (at least one)."""
+        return max(1, -(-size_bytes // self.page_bytes))
+
+    def with_overrides(self, **overrides: object) -> "SSDSpec":
+        """A copy with some fields replaced (sweep convenience)."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+#: A small SATA SSD of the paper's era -- the natural log-disk upgrade.
+SATA_SSD_32GB = SSDSpec(name="sata-ssd-32g", capacity_bytes=32 * 1024**3)
+
+#: A smaller, two-channel module: cheaper, more GC pressure.
+SATA_SSD_8GB = SSDSpec(
+    name="sata-ssd-8g",
+    capacity_bytes=8 * 1024**3,
+    n_channels=2,
+    write_cache_bytes=16 * 1024 * 1024,
+    power_active_w=2.1,
+    power_idle_w=0.55,
+)
+
+SSD_CATALOG: Dict[str, SSDSpec] = {
+    spec.name: spec for spec in (SATA_SSD_32GB, SATA_SSD_8GB)
+}
+
+
+class _ChannelJob:
+    """One NAND operation batch bound for a single channel."""
+
+    __slots__ = ("op", "channel", "pages", "erases", "priority", "done", "tag")
+
+    def __init__(
+        self,
+        op: str,
+        channel: int,
+        pages: int,
+        erases: int,
+        priority: int,
+        done: Event,
+        tag: object = None,
+    ) -> None:
+        self.op = op  # "read" | "program" | "gc"
+        self.channel = channel
+        self.pages = pages
+        self.erases = erases
+        self.priority = priority
+        self.done = done
+        self.tag = tag
+
+
+class _CacheEntry:
+    """One dirty extent awaiting destage."""
+
+    __slots__ = ("key", "size_bytes", "taken")
+
+    def __init__(self, key: object, size_bytes: int) -> None:
+        self.key = key
+        self.size_bytes = size_bytes
+        #: Set once the destager picks the entry up; a later overwrite
+        #: of the same key must then stage a fresh entry.
+        self.taken = False
+
+
+class SSDBackend:
+    """A flash device attached to the simulation.
+
+    Mirrors the :class:`~repro.disk.drive.SimDisk` surface (it is the
+    second implementation of
+    :class:`~repro.backend.protocol.StorageBackend`): host requests are
+    submitted with :meth:`submit` and served in priority order, the
+    power manager drives :meth:`request_sleep`/:meth:`wake`, and the
+    fault layer uses :meth:`fail`/:meth:`repair`/:meth:`set_slowdown`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: SSDSpec,
+        name: str = "ssd",
+        auto_sleep_after: Optional[float] = None,
+        spinup_jitter: float = 0.0,
+        rng: Optional["np.random.Generator"] = None,
+        record_history: bool = False,
+    ) -> None:
+        if auto_sleep_after is not None and auto_sleep_after < 0:
+            raise ValueError(f"auto_sleep_after must be >= 0, got {auto_sleep_after!r}")
+        if spinup_jitter < 0:
+            raise ValueError(f"spinup_jitter must be >= 0, got {spinup_jitter!r}")
+        if spinup_jitter > 0 and rng is None:
+            raise ValueError("spinup_jitter > 0 requires an rng")
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        self.auto_sleep_after = auto_sleep_after
+        self.spinup_jitter = float(spinup_jitter)
+        self._rng = rng
+        self.meter = EnergyMeter(
+            spec,
+            start_time=sim.now,
+            initial_state=DiskState.IDLE,
+            record_history=record_history,
+        )
+        self.ftl = PageMappedFTL(
+            n_logical_pages=spec.n_logical_pages,
+            pages_per_block=spec.pages_per_block,
+            n_channels=spec.n_channels,
+            overprovision=spec.overprovision,
+            gc_free_fraction=spec.gc_free_fraction,
+        )
+        self.extents = ExtentMap(spec.n_logical_pages)
+        self.queue: Store = PriorityStore(sim, priority_key=lambda r: r.priority)
+        self._channel_queues: List[Store] = [
+            PriorityStore(sim, priority_key=lambda j: j.priority)
+            for _ in range(spec.n_channels)
+        ]
+        # Host-request surface (protocol counters).
+        self.inflight = 0
+        self.requests_served = 0
+        self.bytes_served = 0
+        self.slowdown = 1.0
+        self.service_times = TallyStat(name=f"{name}:service")
+        # Flash accounting beyond the FTL's own counters.
+        self.host_pages_written = 0
+        self.cache_hits = 0
+        self._op_energy_j = 0.0
+        # Write cache: FIFO of dirty extents + latest entry per key.
+        self._dirty: Deque[_CacheEntry] = deque()
+        self._dirty_by_key: Dict[object, _CacheEntry] = {}
+        self._destaging_keys: Dict[object, int] = {}
+        self._cache_used = 0
+        #: Bumped whenever the cache accounting is wiped wholesale (on
+        #: :meth:`fail`); a destage that straddles a wipe must not
+        #: subtract its bytes from the already-zeroed counter.
+        self._cache_wipes = 0
+        self._cache_drained: Event = sim.event()
+        self._dirty_staged: Event = sim.event()
+        # DEVSLP machinery (mirrors SimDisk's transition plumbing).
+        self._flaky_spinups = 0
+        self._flaky_backoff_s = 0.0
+        self.spinup_failures = 0
+        self._transition_done: Event = sim.event()
+        self._transition_span: Optional["Span"] = None
+        self._idle_started: Event = sim.event()
+        self._watchdog_timing = False
+        #: Concurrent internal activities (host service, destage, GC);
+        #: drives the ACTIVE/IDLE meter state.
+        self._busy = 0
+        self._server = sim.process(self._server_loop())
+        self._destager = sim.process(self._destage_loop())
+        self._channel_servers = [
+            sim.process(self._channel_loop(ch)) for ch in range(spec.n_channels)
+        ]
+        self._watchdog = (
+            sim.process(self._idle_watchdog()) if auto_sleep_after is not None else None
+        )
+
+    # -- public API (the StorageBackend surface) -----------------------------------
+
+    @property
+    def state(self) -> DiskState:
+        """Current power state (STANDBY = DEVSLP)."""
+        return self.meter.state
+
+    @property
+    def is_sleeping(self) -> bool:
+        return self.state in (DiskState.STANDBY, DiskState.SPIN_DOWN)
+
+    @property
+    def dirty_bytes(self) -> int:
+        """Bytes staged in the write cache, not yet fully on flash."""
+        return self._cache_used
+
+    @property
+    def write_amplification(self) -> float:
+        """NAND pages programmed per host page accepted (0.0 until the
+        first host write)."""
+        if self.host_pages_written == 0:
+            return 0.0
+        return self.ftl.counters.nand_pages_programmed / self.host_pages_written
+
+    def submit(
+        self,
+        size_bytes: int,
+        kind: RequestKind = RequestKind.READ,
+        sequential: bool = False,
+        tag: object = None,
+        priority: int = PRIORITY_DEMAND,
+    ) -> DiskRequest:
+        """Enqueue a host request; same contract as ``SimDisk.submit``."""
+        request = DiskRequest(
+            size_bytes=size_bytes,
+            kind=kind,
+            sequential=sequential,
+            priority=priority,
+            tag=tag,
+            issued_at=self.sim.now,
+            done=self.sim.event(),
+        )
+        if self.state is DiskState.FAILED:
+            request.done.fail(DiskFailureError(self.name))
+            return request
+        self.inflight += 1
+        if self._watchdog_timing and self._watchdog is not None:
+            self._watchdog.interrupt("activity")
+        self.queue.put(request)
+        if self.state is DiskState.STANDBY:
+            self.wake()
+        return request
+
+    def request_sleep(self) -> bool:
+        """Enter DEVSLP if fully quiescent.  Returns True if begun.
+
+        Unlike a drive, an SSD also refuses to sleep on a dirty write
+        cache -- the destager is about to program flash.
+        """
+        if (
+            self.state is not DiskState.IDLE
+            or self.inflight > 0
+            or self._busy > 0
+            or self._dirty
+        ):
+            return False
+        self._begin_transition(DiskState.SPIN_DOWN, DiskState.STANDBY, self.spec.sleep_s)
+        return True
+
+    def wake(self) -> bool:
+        """Exit DEVSLP.  Returns True if an exit began."""
+        if self.state is not DiskState.STANDBY:
+            return False
+        duration = self.spec.wake_s
+        if self.spinup_jitter > 0:
+            assert self._rng is not None  # enforced in __init__
+            factor = 1.0 + self._rng.normal(0.0, self.spinup_jitter)
+            duration *= min(2.0, max(0.5, factor))
+        if self._flaky_spinups > 0:
+            self._flaky_spinups -= 1
+            self.spinup_failures += 1
+            self.sim.process(self._failed_wake(duration))
+            return True
+        self._begin_transition(DiskState.SPIN_UP, DiskState.IDLE, duration)
+        return True
+
+    def fail(self) -> None:
+        """Controller failure: all queued host requests and channel jobs
+        fail immediately; the write cache is lost.  Idempotent."""
+        if self.state is DiskState.FAILED:
+            return
+        self._set_state(DiskState.FAILED)
+        for request in self.queue.drain():
+            self.inflight -= 1
+            assert request.done is not None
+            request.done.fail(DiskFailureError(self.name))
+        for channel_queue in self._channel_queues:
+            for job in channel_queue.drain():
+                if not job.done.triggered:
+                    job.done.fail(DiskFailureError(self.name))
+                    job.done.defuse()
+        self._dirty.clear()
+        self._dirty_by_key.clear()
+        self._destaging_keys.clear()
+        self._cache_used = 0
+        self._cache_wipes += 1
+        # Release anything parked on cache backpressure or the destager's
+        # wait-for-dirty; both re-check state/emptiness on wake-up.
+        self._fire_cache_drained()
+        self._fire_dirty_staged()
+        pending = self._transition_done
+        if not pending.triggered:
+            pending.fail(DiskFailureError(self.name))
+            pending.defuse()
+
+    def repair(self) -> None:
+        """Undo a :meth:`fail`: the device reboots in DEVSLP with its
+        flash contents intact (an outage, not a media loss)."""
+        if self.state is not DiskState.FAILED:
+            return
+        self._set_state(DiskState.STANDBY)
+        if self.auto_sleep_after is not None and (
+            self._watchdog is None or self._watchdog.triggered
+        ):
+            self._watchdog = self.sim.process(self._idle_watchdog())
+
+    def set_idle_threshold(self, seconds: float) -> None:
+        """Retarget the DEVSLP idle timer (same contract as SimDisk)."""
+        if self.auto_sleep_after is None:
+            raise ValueError(f"{self.name}: no idle timer to adjust")
+        if seconds < 0:
+            raise ValueError(f"idle threshold must be >= 0, got {seconds!r}")
+        self.auto_sleep_after = float(seconds)
+
+    def set_slowdown(self, factor: float) -> None:
+        """Degrade (or restore) the device: NAND and cache operation
+        times scale by *factor* (thermal throttling, retries)."""
+        if factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1.0, got {factor!r}")
+        self.slowdown = float(factor)
+
+    def inject_spinup_failures(self, count: int, backoff_s: float = 1.0) -> None:
+        """Arm the next *count* DEVSLP exits to fail (firmware retry)."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count!r}")
+        if backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {backoff_s!r}")
+        self._flaky_spinups = count
+        self._flaky_backoff_s = float(backoff_s)
+
+    def finalize(self) -> None:
+        """Close the energy account at the current time."""
+        self.meter.finalize(self.sim.now)
+
+    def energy_j(self) -> float:
+        """Joules consumed so far: rail power integral + NAND op energy."""
+        return self.meter.energy_j(until=self.sim.now) + self._op_energy_j
+
+    @property
+    def transition_count(self) -> int:
+        """Counted DEVSLP entries + exits (the Fig. 4 metric's analog)."""
+        return self.meter.transition_count
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of elapsed time with at least one channel busy."""
+        elapsed = self.sim.now
+        if elapsed <= 0:
+            return 0.0
+        active = self.meter.time_in_state[DiskState.ACTIVE]
+        if self.state is DiskState.ACTIVE:
+            active += elapsed - self.meter._last_time
+        return active / elapsed
+
+    # -- power-state internals (mirrors SimDisk) ------------------------------------
+
+    def _set_state(self, new_state: DiskState) -> None:
+        if new_state is self.state:
+            return
+        self.meter.transition(self.sim.now, new_state)
+
+    def _begin_transition(
+        self, via: DiskState, target: DiskState, duration: float
+    ) -> None:
+        self._set_state(via)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            span_kind = "spinup" if via is DiskState.SPIN_UP else "spindown"
+            self._transition_span = tracer.begin(
+                span_kind, self.name, target=target.value
+            )
+        self._transition_done = self.sim.event()
+        self.sim.process(self._finish_transition(target, duration))
+
+    def _end_transition_span(self, **tags: object) -> None:
+        span = self._transition_span
+        if span is not None:
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.end(span, **tags)
+            self._transition_span = None
+
+    def _finish_transition(
+        self, target: DiskState, duration: float
+    ) -> Generator[Event, Any, None]:
+        done = self._transition_done
+        yield self.sim.timeout(duration)
+        if self.state is DiskState.FAILED:
+            self._end_transition_span(ok=False)
+            return
+        self._set_state(target)
+        self._end_transition_span()
+        done.succeed()
+        if target is DiskState.STANDBY and self.inflight > 0:
+            self.wake()
+
+    def _failed_wake(self, duration: float) -> Generator[Event, Any, None]:
+        """An injected DEVSLP-exit failure: full exit time and energy,
+        fall back to STANDBY, observe the back-off, release waiters."""
+        self._set_state(DiskState.SPIN_UP)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            self._transition_span = tracer.begin(
+                "spinup", self.name, injected_failure=True
+            )
+        self._transition_done = self.sim.event()
+        done = self._transition_done
+        yield self.sim.timeout(duration)
+        if self.state is DiskState.FAILED:
+            self._end_transition_span(ok=False)
+            return
+        self._set_state(DiskState.STANDBY)
+        self._end_transition_span(ok=False)
+        if self._flaky_backoff_s > 0:
+            yield self.sim.timeout(self._flaky_backoff_s)
+        if done.triggered:
+            return
+        done.succeed()
+        if self.inflight > 0 and self.state is DiskState.STANDBY:
+            self.wake()
+
+    def _busy_enter(self) -> None:
+        self._busy += 1
+        if self._busy == 1 and self.state is DiskState.IDLE:
+            self._set_state(DiskState.ACTIVE)
+
+    def _busy_exit(self) -> None:
+        self._busy -= 1
+        if self._busy == 0 and self.state is DiskState.ACTIVE:
+            self._set_state(DiskState.IDLE)
+            if self.inflight == 0:
+                self._signal_idle()
+
+    def _signal_idle(self) -> None:
+        event, self._idle_started = self._idle_started, self.sim.event()
+        event.succeed()
+
+    def _until_serviceable(self) -> Generator[Event, Any, None]:
+        """Wait out transitions / leave DEVSLP; raises on a dead device."""
+        while not self.state.can_serve and self.state is not DiskState.ACTIVE:
+            if self.state is DiskState.FAILED:
+                raise DiskFailureError(self.name)
+            if self.state is DiskState.STANDBY:
+                self.wake()
+            yield self._transition_done
+
+    def _idle_watchdog(self) -> Generator[Event, Any, None]:
+        """Built-in DEVSLP idle timer (armed via ``auto_sleep_after``)."""
+        sim = self.sim
+        while True:
+            auto_sleep_after = self.auto_sleep_after
+            assert auto_sleep_after is not None  # watchdog only started when set
+            if (
+                self.state is DiskState.IDLE
+                and self.inflight == 0
+                and self._busy == 0
+                and not self._dirty
+            ):
+                self._watchdog_timing = True
+                try:
+                    yield sim.timeout(auto_sleep_after)
+                    self.request_sleep()
+                except Interrupt:
+                    pass  # activity arrived; wait for the next idle period
+                finally:
+                    self._watchdog_timing = False
+            else:
+                yield self._idle_started
+
+    # -- host service ----------------------------------------------------------------
+
+    def _server_loop(self) -> Generator[Event, Any, None]:
+        sim = self.sim
+        while True:
+            request: DiskRequest = yield self.queue.get()
+            try:
+                yield from self._until_serviceable()
+            except DiskFailureError as failure:
+                self.inflight -= 1
+                assert request.done is not None
+                request.done.fail(failure)
+                continue
+            self._busy_enter()
+            started = sim.now
+            try:
+                if request.kind is RequestKind.WRITE:
+                    yield from self._serve_write(request)
+                else:
+                    yield from self._serve_read(request)
+            except DiskFailureError as failure:
+                self.inflight -= 1
+                self._busy_exit()
+                assert request.done is not None
+                if not request.done.triggered:
+                    request.done.fail(failure)
+                continue
+            self.inflight -= 1
+            self._busy_exit()
+            self.requests_served += 1
+            self.bytes_served += request.size_bytes
+            self.service_times.record(sim.now - started)
+            assert request.done is not None
+            request.done.succeed(request)
+
+    def _serve_write(self, request: DiskRequest) -> Generator[Event, Any, None]:
+        """Accept a write into the cache (backpressure when full)."""
+        size = request.size_bytes
+        spec = self.spec
+        # Backpressure: wait for destage progress until the data fits.
+        # Extents larger than the whole cache pass once it is empty --
+        # the cache then acts as a staging window, not a bound.
+        while self._cache_used > 0 and self._cache_used + size > spec.write_cache_bytes:
+            yield self._cache_drained
+            if self.state is DiskState.FAILED:
+                raise DiskFailureError(self.name)
+        yield self.sim.timeout(self.slowdown * size / spec.cache_bandwidth_bps)
+        if self.state is DiskState.FAILED:
+            # The device died mid-transfer: the data never became durable
+            # (unlike a drive, where an in-service request is already on
+            # the platters at simulation granularity).
+            raise DiskFailureError(self.name)
+        self.host_pages_written += spec.pages_for(size)
+        key = self._extent_key(request)
+        entry = self._dirty_by_key.get(key)
+        if entry is not None and not entry.taken:
+            # Write absorption: replace the still-pending dirty entry.
+            self._cache_used += size - entry.size_bytes
+            entry.size_bytes = size
+        else:
+            entry = _CacheEntry(key, size)
+            self._dirty.append(entry)
+            self._dirty_by_key[key] = entry
+            self._cache_used += size
+            self._fire_dirty_staged()
+
+    def _serve_read(self, request: DiskRequest) -> Generator[Event, Any, None]:
+        """Serve a read: from the cache if dirty, else from flash."""
+        size = request.size_bytes
+        key = self._extent_key(request)
+        if key in self._dirty_by_key or key in self._destaging_keys:
+            self.cache_hits += 1
+            yield self.sim.timeout(self.slowdown * size / self.spec.cache_bandwidth_bps)
+            return
+        pages = self.extents.lookup(key)
+        if pages is None:
+            # Content that predates the simulation (or was evicted):
+            # synthesize its stripe without allocating logical space.
+            count = self.spec.pages_for(size)
+            span = self.ftl.n_logical_pages
+            pages = [i % span for i in range(count)]
+        per_channel = self.ftl.read_pages(pages)
+        jobs = [
+            self._issue_job("read", channel, count, 0, request.priority, tag=key)
+            for channel, count in enumerate(per_channel)
+            if count > 0
+        ]
+        if jobs:
+            yield self.sim.all_of([job.done for job in jobs])
+
+    @staticmethod
+    def _extent_key(request: DiskRequest) -> object:
+        """Extent identity for a request: the file id when the caller
+        tagged one (``(op, file_id)`` tuples throughout the node), else
+        the request itself (unique, never coalesced)."""
+        tag = request.tag
+        if isinstance(tag, tuple) and len(tag) == 2:
+            return tag[1]
+        if tag is not None:
+            return tag
+        return request.request_id
+
+    # -- destage + GC ----------------------------------------------------------------
+
+    def _fire_dirty_staged(self) -> None:
+        event, self._dirty_staged = self._dirty_staged, self.sim.event()
+        event.succeed()
+
+    def _fire_cache_drained(self) -> None:
+        event, self._cache_drained = self._cache_drained, self.sim.event()
+        event.succeed()
+
+    def _destage_loop(self) -> Generator[Event, Any, None]:
+        """Drain the write cache to flash, oldest extent first."""
+        sim = self.sim
+        while True:
+            if not self._dirty:
+                yield self._dirty_staged
+                continue
+            try:
+                yield from self._until_serviceable()
+            except DiskFailureError:
+                # The device is dead; whatever is (or raced its way)
+                # into the cache is lost with it.  Clearing here also
+                # guarantees the loop re-parks instead of spinning.
+                self._dirty.clear()
+                self._dirty_by_key.clear()
+                self._cache_used = 0
+                self._cache_wipes += 1
+                continue
+            entry = self._dirty.popleft()
+            entry.taken = True
+            wipes_at_take = self._cache_wipes
+            if self._dirty_by_key.get(entry.key) is entry:
+                del self._dirty_by_key[entry.key]
+            self._destaging_keys[entry.key] = (
+                self._destaging_keys.get(entry.key, 0) + 1
+            )
+            self._busy_enter()
+            tracer = sim.tracer
+            span = None
+            if tracer is not None:
+                span = tracer.begin(
+                    "ssd.destage", self.name, key=str(entry.key), bytes=entry.size_bytes
+                )
+            try:
+                yield from self._destage_one(entry)
+            except DiskFailureError:
+                if span is not None and tracer is not None:
+                    tracer.end(span, ok=False)
+                self._busy_exit()
+                self._forget_destaging(entry.key)
+                continue
+            if span is not None and tracer is not None:
+                tracer.end(span, ok=True)
+            self._busy_exit()
+            self._forget_destaging(entry.key)
+            if self._cache_wipes == wipes_at_take:
+                self._cache_used -= entry.size_bytes
+            self._fire_cache_drained()
+
+    def _forget_destaging(self, key: object) -> None:
+        remaining = self._destaging_keys.get(key, 0) - 1
+        if remaining <= 0:
+            self._destaging_keys.pop(key, None)
+        else:
+            self._destaging_keys[key] = remaining
+
+    def _destage_one(self, entry: _CacheEntry) -> Generator[Event, Any, None]:
+        """Program one extent: allocate logical space, run any GC the
+        allocation triggers, then program the pages per channel."""
+        # An extent larger than the device overwrites the whole logical
+        # space once -- the buffer tier cannot hold more than itself.
+        n_pages = min(self.spec.pages_for(entry.size_bytes), self.extents.n_pages)
+        logical_pages, evicted = self.extents.allocate(entry.key, n_pages)
+        if evicted:
+            self.ftl.trim_pages(evicted)
+        plan = self.ftl.write_pages(logical_pages)
+        jobs = [
+            self._issue_job(
+                "gc", event.channel, event.pages_moved, 1, PRIORITY_BACKGROUND,
+                tag=event.block,
+            )
+            for event in plan.gc_events
+        ]
+        jobs.extend(
+            self._issue_job(
+                "program", channel, count, 0, PRIORITY_BACKGROUND, tag=entry.key
+            )
+            for channel, count in enumerate(plan.programs)
+            if count > 0
+        )
+        if jobs:
+            yield self.sim.all_of([job.done for job in jobs])
+
+    # -- channels --------------------------------------------------------------------
+
+    def _issue_job(
+        self,
+        op: str,
+        channel: int,
+        pages: int,
+        erases: int,
+        priority: int,
+        tag: object = None,
+    ) -> _ChannelJob:
+        job = _ChannelJob(op, channel, pages, erases, priority, self.sim.event(), tag)
+        self._channel_queues[channel].put(job)
+        return job
+
+    def _job_duration_s(self, job: _ChannelJob) -> float:
+        spec = self.spec
+        if job.op == "read":
+            nand = job.pages * spec.page_read_s
+        elif job.op == "program":
+            nand = job.pages * spec.page_program_s
+        else:  # gc: relocation reads + programs, then the erase
+            nand = (
+                job.pages * (spec.page_read_s + spec.page_program_s)
+                + job.erases * spec.block_erase_s
+            )
+        return self.slowdown * nand
+
+    def _job_energy_j(self, job: _ChannelJob) -> float:
+        spec = self.spec
+        if job.op == "read":
+            return job.pages * spec.page_read_energy_j
+        if job.op == "program":
+            return job.pages * spec.page_program_energy_j
+        return (
+            job.pages * (spec.page_read_energy_j + spec.page_program_energy_j)
+            + job.erases * spec.block_erase_energy_j
+        )
+
+    def _channel_loop(self, channel: int) -> Generator[Event, Any, None]:
+        sim = self.sim
+        queue = self._channel_queues[channel]
+        while True:
+            job: _ChannelJob = yield queue.get()
+            self._busy_enter()
+            duration = self._job_duration_s(job)
+            tracer = sim.tracer
+            span: Optional["Span"] = None
+            if tracer is not None:
+                kind = "ssd.gc" if job.op == "gc" else "ssd.channel"
+                span = tracer.begin(
+                    kind, self.name, channel=channel, op=job.op, pages=job.pages
+                )
+            yield sim.timeout(duration)
+            if span is not None and tracer is not None:
+                tracer.end(span)
+            self._op_energy_j += self._job_energy_j(job)
+            self._busy_exit()
+            if not job.done.triggered:
+                job.done.succeed(job)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<SSDBackend {self.name} {self.state.value} "
+            f"inflight={self.inflight} WA={self.write_amplification:.2f} "
+            f"erases={self.ftl.counters.blocks_erased}>"
+        )

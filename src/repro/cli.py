@@ -394,6 +394,51 @@ def _cmd_online(args: argparse.Namespace) -> None:
         print(f"\nFingerprint written to {args.json}")
 
 
+def _cmd_ssd(args: argparse.Namespace) -> None:
+    """SSD buffer-tier sweep: capacity x channels x GC reserve, PF/NPF
+    per point, HDD-buffer reference pairs.  Optionally writes a
+    determinism fingerprint (--json)."""
+    from repro.experiments.ssd import (
+        ssd_fingerprint,
+        ssd_sweep,
+        SSD_HEADERS,
+        sweep_rows,
+    )
+
+    points = ssd_sweep(
+        capacities_mb=tuple(args.capacities_mb),
+        channels=tuple(args.channels),
+        gc_fractions=tuple(args.gc),
+        n_requests=args.requests,
+        write_fraction=args.write_fraction,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    print(
+        format_table(
+            SSD_HEADERS,
+            sweep_rows(points),
+            title="SSD vs HDD buffer tier (PF vs NPF per point)",
+        )
+    )
+    ssd_points = [p for p in points if p.backend == "ssd"]
+    hdd_points = [p for p in points if p.backend == "hdd"]
+    if ssd_points and hdd_points:
+        best = max(ssd_points, key=lambda p: p.savings_pct)
+        ref = max(hdd_points, key=lambda p: p.savings_pct)
+        print(
+            f"\nBest SSD point (cap={best.capacity_mb}MB, "
+            f"ch={best.channels}) saves {best.savings_pct:.1f}% vs NPF "
+            f"(HDD buffer best: {ref.savings_pct:.1f}%); "
+            f"WA={best.pf.ssd_write_amplification:.2f}, "
+            f"max erase count {best.pf.ssd_max_erase_count}."
+        )
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(ssd_fingerprint(points))
+        print(f"\nFingerprint written to {args.json}")
+
+
 def _cmd_faults(args: argparse.Namespace) -> None:
     """Fault drill: one workload, one fault schedule, with and without
     replication -- what does riding out failures cost in energy?"""
@@ -816,6 +861,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the determinism fingerprint (canonical JSON) to PATH",
     )
     online.set_defaults(func=_cmd_online)
+    ssd = sub.add_parser(
+        "ssd", help="SSD vs HDD buffer-tier sweep (repro.backend)"
+    )
+    ssd.add_argument(
+        "--capacities-mb",
+        nargs="+",
+        type=int,
+        default=[16, 32, 64],
+        metavar="MB",
+        help="buffer-tier logical capacities to sweep",
+    )
+    ssd.add_argument(
+        "--channels",
+        nargs="+",
+        type=int,
+        default=[1, 2, 4],
+        metavar="N",
+        help="SSD channel counts to sweep",
+    )
+    ssd.add_argument(
+        "--gc",
+        nargs="+",
+        type=float,
+        default=[0.10],
+        metavar="FRAC",
+        help="GC free-block reserve fractions to sweep",
+    )
+    ssd.add_argument(
+        "--write-fraction",
+        type=float,
+        default=0.4,
+        help="workload write share (rewrite churn drives GC and WA)",
+    )
+    ssd.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the determinism fingerprint (canonical JSON) to PATH",
+    )
+    ssd.set_defaults(func=_cmd_ssd)
     bench = sub.add_parser(
         "bench", help="performance benchmark (writes BENCH_perf.json)"
     )

@@ -315,6 +315,25 @@ class EEVFSConfig:
     #: Per-request CPU overhead at server and node (lookup, thread wake).
     server_overhead_s: float = 0.0002
     node_overhead_s: float = 0.0002
+    #: Storage backend per tier (repro.backend): "hdd" is the paper's
+    #: spinning drive; "ssd" swaps in the FTL-level flash model.  The
+    #: interesting configuration is an SSD *buffer* tier over HDD data
+    #: disks -- prefetch copies and destaged writes then contend through
+    #: the FTL (write amplification, GC, erase wear) instead of a
+    #: spindle queue.
+    buffer_backend: str = "hdd"
+    data_backend: str = "hdd"
+    #: Catalog name of the SSD model used by SSD-backed tiers.
+    ssd_spec: str = "sata-ssd-32g"
+    #: Sweep overrides on the catalog spec (None = catalog value).
+    ssd_capacity_mb: Optional[int] = None
+    ssd_channels: Optional[int] = None
+    ssd_gc_free_fraction: Optional[float] = None
+    #: Idle seconds before an SSD *buffer* tier enters DEVSLP (None =
+    #: the buffer never sleeps, matching the HDD buffer-disk policy).
+    #: DEVSLP's break-even is tens of milliseconds, so unlike a spindle
+    #: the buffer tier can nap between bursts without a latency cliff.
+    ssd_buffer_idle_s: Optional[float] = None
     #: Attach the observability subsystem (repro.obs): span tracing,
     #: telemetry sampling, and a RunResult.trace snapshot.  Off by
     #: default -- tracing observes the run without changing any metric,
@@ -452,6 +471,24 @@ class EEVFSConfig:
             raise ValueError("request_retry_jitter must be in [0, 1)")
         if self.obs_sample_interval_s <= 0:
             raise ValueError("obs_sample_interval_s must be > 0")
+        for tier_name, backend in (
+            ("buffer_backend", self.buffer_backend),
+            ("data_backend", self.data_backend),
+        ):
+            if backend not in ("hdd", "ssd"):
+                raise ValueError(f"unknown {tier_name}: {backend!r}")
+        if self.ssd_capacity_mb is not None and self.ssd_capacity_mb < 1:
+            raise ValueError("ssd_capacity_mb must be >= 1")
+        if self.ssd_channels is not None and self.ssd_channels < 1:
+            raise ValueError("ssd_channels must be >= 1")
+        if self.ssd_gc_free_fraction is not None and not (
+            0 < self.ssd_gc_free_fraction < 0.5
+        ):
+            raise ValueError("ssd_gc_free_fraction must be in (0, 0.5)")
+        if self.ssd_buffer_idle_s is not None and self.ssd_buffer_idle_s < 0:
+            raise ValueError("ssd_buffer_idle_s must be >= 0")
+        if self.ssd_buffer_idle_s is not None and self.buffer_backend != "ssd":
+            raise ValueError("ssd_buffer_idle_s needs buffer_backend='ssd'")
 
     def as_npf(self) -> "EEVFSConfig":
         """The paper's NPF comparator: same system, prefetching off.

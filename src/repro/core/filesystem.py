@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.backend.ssd import SSDBackend
 from repro.core.client import ClientDriver, RetryPolicy
 from repro.core.config import ClusterSpec, default_cluster, EEVFSConfig
 from repro.core.node import StorageNode
@@ -134,6 +135,23 @@ class RunResult:
     requests_abandoned: int = 0
     #: Replies for already-settled requests (superseded slow attempts).
     duplicate_replies: int = 0
+    # -- SSD backend accounting (repro.backend.ssd; all zero on all-HDD runs) -----
+    #: Pages the hosts wrote into SSD write caches.
+    ssd_host_pages_written: int = 0
+    #: NAND pages actually programmed (host destages + GC relocations).
+    ssd_nand_pages_written: int = 0
+    #: Valid pages garbage collection moved to reclaim blocks.
+    ssd_pages_relocated: int = 0
+    #: Flash blocks erased across all SSDs.
+    ssd_erases: int = 0
+    #: Highest per-block erase count seen on any SSD (wear headroom).
+    ssd_max_erase_count: int = 0
+    #: Cluster-wide write amplification: NAND programs / host pages
+    #: (0.0 when nothing was written; < 1 when the cache absorbed
+    #: overwrites before they reached flash).
+    ssd_write_amplification: float = 0.0
+    #: Reads answered from a dirty/destaging write-cache entry.
+    ssd_cache_hits: int = 0
     #: Metadata-plane availability metrics (None when the plane is off).
     metaplane: Optional[MetaPlaneStats] = None
     #: Online-mode controller/replan summary (None unless
@@ -344,6 +362,31 @@ class EEVFSCluster:
                 f"disk.state:{disk.name}",
                 lambda d=disk: float(DISK_STATE_CODES[d.state]),
             )
+        ssds = [d for d in all_disks if isinstance(d, SSDBackend)]
+        if ssds:
+
+            def wa() -> float:
+                host = sum(d.host_pages_written for d in ssds)
+                nand = sum(d.ftl.counters.nand_pages_programmed for d in ssds)
+                return nand / host if host else 0.0
+
+            telemetry.gauge("ssd.write_amplification", wa)
+            telemetry.gauge(
+                "ssd.erases_total",
+                lambda: float(sum(d.ftl.counters.blocks_erased for d in ssds)),
+            )
+            telemetry.gauge(
+                "ssd.gc_pages_relocated",
+                lambda: float(sum(d.ftl.counters.pages_relocated for d in ssds)),
+            )
+            telemetry.gauge(
+                "ssd.cache_dirty_bytes",
+                lambda: float(sum(d.dirty_bytes for d in ssds)),
+            )
+            telemetry.gauge(
+                "ssd.free_blocks",
+                lambda: float(sum(d.ftl.free_blocks for d in ssds)),
+            )
         controller = self.online_controller
         if controller is not None:
             telemetry.gauge("online.k", lambda: float(controller.k))
@@ -446,6 +489,15 @@ class EEVFSCluster:
                 )
             )
 
+        ssds = [
+            disk
+            for node in self.nodes
+            for disk in node.all_disks
+            if isinstance(disk, SSDBackend)
+        ]
+        ssd_host_pages = sum(d.host_pages_written for d in ssds)
+        ssd_nand_pages = sum(d.ftl.counters.nand_pages_programmed for d in ssds)
+
         server_energy = self._server_energy_j() - server_energy_at_epoch
         energy = sum(r.total_energy_j for r in node_reports)
         energy_with_setup = sum(
@@ -516,6 +568,17 @@ class EEVFSCluster:
             request_timeouts=self.client.request_timeouts,
             requests_abandoned=self.client.requests_abandoned,
             duplicate_replies=self.client.duplicate_replies,
+            ssd_host_pages_written=ssd_host_pages,
+            ssd_nand_pages_written=ssd_nand_pages,
+            ssd_pages_relocated=sum(d.ftl.counters.pages_relocated for d in ssds),
+            ssd_erases=sum(d.ftl.counters.blocks_erased for d in ssds),
+            ssd_max_erase_count=max(
+                (d.ftl.max_erase_count for d in ssds), default=0
+            ),
+            ssd_write_amplification=(
+                ssd_nand_pages / ssd_host_pages if ssd_host_pages else 0.0
+            ),
+            ssd_cache_hits=sum(d.cache_hits for d in ssds),
             metaplane=(
                 self.metaplane.snapshot() if self.metaplane is not None else None
             ),

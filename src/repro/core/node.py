@@ -24,6 +24,7 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.backend import StorageBackend, build_backend, tier_spec
 from repro.core.config import EEVFSConfig, NodeSpec
 from repro.core.metadata import NodeMetadata
 from repro.core.power import PowerManager
@@ -49,7 +50,6 @@ from repro.disk.drive import (
     PRIORITY_BACKGROUND,
     PRIORITY_PREFETCH,
     RequestKind,
-    SimDisk,
 )
 from repro.net.fabric import Fabric
 from repro.sim.engine import Simulator
@@ -93,24 +93,9 @@ class StorageNode:
         # wake-aheads on top of it (§IV-C: EEVFS "can operate without the
         # application hints ... relying solely on the idle window timers").
         timer = config.idle_threshold_s if power_managed else None
-        self.buffer_disk = SimDisk(
-            sim,
-            spec.buffer_spec,
-            name=f"{spec.name}/buffer",
-            record_history=record_history,
-        )
-        self.data_disks: List[SimDisk] = [
-            SimDisk(
-                sim,
-                spec.disk_spec,
-                name=f"{spec.name}/data{i}",
-                auto_sleep_after=timer,
-                idle_action=self.DISK_IDLE_ACTION,
-                second_stage_after=self.DISK_SECOND_STAGE_S,
-                spinup_jitter=spinup_jitter,
-                rng=(None if rng is None or spinup_jitter == 0 else rng),
-                record_history=record_history,
-            )
+        self.buffer_disk = self._build_buffer_disk(record_history)
+        self.data_disks: List[StorageBackend] = [
+            self._build_data_disk(i, timer, spinup_jitter, rng, record_history)
             for i in range(spec.n_data_disks)
         ]
         self.metadata = NodeMetadata(
@@ -162,10 +147,56 @@ class StorageNode:
             else None
         )
 
+    # -- backend construction ----------------------------------------------------------
+
+    def _build_buffer_disk(self, record_history: bool) -> StorageBackend:
+        """The buffer (log) disk for whichever backend the config names.
+
+        An HDD buffer disk never sleeps (it is the OS/log disk, §III-A);
+        an SSD buffer tier may nap in DEVSLP between bursts when
+        ``ssd_buffer_idle_s`` is set, because its break-even window is
+        milliseconds rather than the spindle's tens of seconds.
+        """
+        spec = tier_spec(self.config, "buffer", self.spec.buffer_spec)
+        idle = (
+            self.config.ssd_buffer_idle_s
+            if self.config.buffer_backend == "ssd"
+            else None
+        )
+        return build_backend(
+            self.sim,
+            spec,
+            name=f"{self.spec.name}/buffer",
+            auto_sleep_after=idle,
+            record_history=record_history,
+        )
+
+    def _build_data_disk(
+        self,
+        index: int,
+        timer: Optional[float],
+        spinup_jitter: float,
+        rng: Optional[np.random.Generator],
+        record_history: bool,
+    ) -> StorageBackend:
+        """One data disk for whichever backend the config names."""
+        spec = tier_spec(self.config, "data", self.spec.disk_spec)
+        return build_backend(
+            self.sim,
+            spec,
+            name=f"{self.spec.name}/data{index}",
+            auto_sleep_after=timer,
+            idle_action=self.DISK_IDLE_ACTION,
+            second_stage_after=self.DISK_SECOND_STAGE_S,
+            spinup_jitter=spinup_jitter,
+            rng=(None if rng is None or spinup_jitter == 0 else rng),
+            record_history=record_history,
+        )
+
     # -- energy accounting ------------------------------------------------------------
 
     @property
-    def all_disks(self) -> List[SimDisk]:
+    def all_disks(self) -> List[StorageBackend]:
         return [self.buffer_disk, *self.data_disks]
 
     def disk_energy_j(self) -> float:

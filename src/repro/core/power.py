@@ -39,7 +39,7 @@ import math
 from typing import Any, Deque, Generator, Iterable, List, Optional, Sequence
 
 from repro.core.prediction import effective_threshold
-from repro.disk.drive import SimDisk
+from repro.backend.protocol import StorageBackend
 from repro.disk.states import DiskState
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
@@ -54,7 +54,7 @@ class PowerManager:
     def __init__(
         self,
         sim: Simulator,
-        disks: Sequence[SimDisk],
+        disks: Sequence[StorageBackend],
         idle_threshold_s: float,
         wake_ahead: bool = True,
         predictor: str = "sequence",

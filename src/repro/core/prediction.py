@@ -16,8 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
-from repro.disk.energy import break_even_time, standby_energy_saved
-from repro.disk.specs import DiskSpec
+from repro.disk.energy import PowerEnvelope, break_even_time, standby_energy_saved
 
 
 @dataclass(frozen=True)
@@ -65,7 +64,7 @@ def idle_windows(
     return windows
 
 
-def effective_threshold(spec: DiskSpec, idle_threshold_s: float) -> float:
+def effective_threshold(spec: PowerEnvelope, idle_threshold_s: float) -> float:
     """The window length below which the policy will not sleep a disk.
 
     The configured idle threshold (Table II: 5 s) is lower-bounded by the
@@ -79,7 +78,7 @@ def effective_threshold(spec: DiskSpec, idle_threshold_s: float) -> float:
 
 def plan_sleep_windows(
     access_times: Sequence[float],
-    spec: DiskSpec,
+    spec: PowerEnvelope,
     idle_threshold_s: float,
     horizon_s: float,
     now_s: float = 0.0,
@@ -95,7 +94,7 @@ def plan_sleep_windows(
 
 def predicted_savings_j(
     access_times: Sequence[float],
-    spec: DiskSpec,
+    spec: PowerEnvelope,
     idle_threshold_s: float,
     horizon_s: float,
     now_s: float = 0.0,
@@ -110,7 +109,7 @@ def predicted_savings_j(
 def prefetch_benefit_j(
     access_times_without: Sequence[float],
     access_times_with: Sequence[float],
-    spec: DiskSpec,
+    spec: PowerEnvelope,
     idle_threshold_s: float,
     horizon_s: float,
 ) -> float:

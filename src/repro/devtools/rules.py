@@ -72,6 +72,7 @@ class LintConfig:
         "repro/obs",
         "repro/metaplane",
         "repro/online",
+        "repro/backend",
     )
     #: Modules whose objects cross the process-pool pickle boundary
     #: (PAR001): the specs themselves plus everything their fields hold.
@@ -90,6 +91,7 @@ class LintConfig:
         "repro/sim",
         "repro/disk",
         "repro/faults",
+        "repro/backend",
     )
     #: Modules whose classes must declare ``__slots__`` (SIM002).
     slotted_modules: tuple[str, ...] = (
@@ -97,6 +99,7 @@ class LintConfig:
         "repro/sim/resources.py",
         "repro/obs/tracer.py",
         "repro/obs/telemetry.py",
+        "repro/backend/ftl.py",
     )
     #: Calls that enqueue work on the event loop.  Feeds the symbol
     #: table's ``schedules_directly`` summary (SIM003) and the closure

@@ -9,19 +9,64 @@ manufacture idle windows longer than it.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Protocol, runtime_checkable
 
-from repro.disk.specs import DiskSpec
+from repro.disk.specs import LowSpeedProfile
 from repro.disk.states import COUNTED_TRANSITIONS, DiskState, validate_transition
 from repro.sim.monitor import Recorder, TimeWeightedStat
 
 
-def standby_power_savings(spec: DiskSpec) -> float:
+@runtime_checkable
+class PowerEnvelope(Protocol):
+    """The power economics every meterable device spec exposes.
+
+    Structural: :class:`~repro.disk.specs.DiskSpec` satisfies it with
+    plain dataclass fields, while an SSD spec maps the "spin"
+    transitions onto DEVSLP entry/exit via properties.  Everything in
+    this module -- the meter and the break-even analysis -- types
+    against this surface, not against any concrete spec.
+    """
+
+    @property
+    def name(self) -> str: ...
+
+    @property
+    def power_active_w(self) -> float: ...
+
+    @property
+    def power_idle_w(self) -> float: ...
+
+    @property
+    def power_standby_w(self) -> float: ...
+
+    @property
+    def spinup_s(self) -> float: ...
+
+    @property
+    def spindown_s(self) -> float: ...
+
+    @property
+    def spinup_energy_j(self) -> float: ...
+
+    @property
+    def spindown_energy_j(self) -> float: ...
+
+    @property
+    def spinup_power_w(self) -> float: ...
+
+    @property
+    def spindown_power_w(self) -> float: ...
+
+    @property
+    def low_speed(self) -> Optional[LowSpeedProfile]: ...
+
+
+def standby_power_savings(spec: PowerEnvelope) -> float:
     """Watts saved per second of standby versus sitting idle."""
     return spec.power_idle_w - spec.power_standby_w
 
 
-def break_even_time(spec: DiskSpec) -> float:
+def break_even_time(spec: PowerEnvelope) -> float:
     """Idle-window length at which sleeping exactly breaks even.
 
     For an idle window of length ``T`` the disk can either idle
@@ -42,7 +87,7 @@ def break_even_time(spec: DiskSpec) -> float:
     return max(t_be, transition_time)
 
 
-def standby_energy_saved(spec: DiskSpec, idle_window_s: float) -> float:
+def standby_energy_saved(spec: PowerEnvelope, idle_window_s: float) -> float:
     """Joules saved by sleeping through *idle_window_s* (can be negative)."""
     if idle_window_s < 0:
         raise ValueError(f"negative idle window: {idle_window_s!r}")
@@ -60,7 +105,7 @@ def standby_energy_saved(spec: DiskSpec, idle_window_s: float) -> float:
     return idle_cost - sleep_cost
 
 
-def _state_powers(spec: DiskSpec) -> dict[DiskState, float]:
+def _state_powers(spec: PowerEnvelope) -> dict[DiskState, float]:
     """Per-state power draw of *spec*, resolved once.
 
     LOW_*/SHIFT_* states exist only for multi-speed specs; a
@@ -94,7 +139,7 @@ class EnergyMeter:
 
     def __init__(
         self,
-        spec: DiskSpec,
+        spec: PowerEnvelope,
         start_time: float = 0.0,
         initial_state: DiskState = DiskState.IDLE,
         record_history: bool = False,

@@ -1,7 +1,7 @@
 """Tracked performance benchmarks: engine throughput and fan-out speedup.
 
-:func:`run_perf_benchmark` measures six things and writes them to
-``BENCH_perf.json`` (schema ``eevfs-bench-perf/4``) so regressions show
+:func:`run_perf_benchmark` measures seven things and writes them to
+``BENCH_perf.json`` (schema ``eevfs-bench-perf/5``) so regressions show
 up as a diff rather than an anecdote:
 
 * **engine** -- event-loop throughput (events/second) on a synthetic
@@ -15,6 +15,9 @@ up as a diff rather than an anecdote:
   estimator/controller/replanner overhead is tracked explicitly;
 * **meanfield_run** -- the closed-form backend over all Table-II sweep
   points, plus its implied speedup over one discrete run;
+* **ssd_run** -- one full EEVFS run with the SSD buffer tier on a
+  write-heavy workload, so the FTL/write-cache/GC overhead relative to
+  ``single_run`` is tracked explicitly;
 * **parallel** -- the same job batch executed with ``jobs=1`` and a real
   multi-worker pool, the observed speedup, and a strict equality check
   that the two executions produced identical metrics.
@@ -32,9 +35,11 @@ the parallel section honest about worker counts: it records the
 *requested* and *effective* job counts and whether a process pool could
 actually start (the previous schema silently benchmarked the serial
 fallback on one-CPU hosts and reported its ~1.0x as a "speedup").
-Histories from v2/v3 files are carried forward as-is (old entries simply
-lack the new columns); a v1 file (no history) is migrated by
-synthesising one entry from its top-level sections.
+Schema v5 adds the ``ssd_run`` family (the flash buffer tier's wall
+clock next to the HDD ``single_run``).  Histories from v2/v3/v4 files
+are carried forward as-is (old entries simply lack the new columns); a
+v1 file (no history) is migrated by synthesising one entry from its
+top-level sections.
 """
 
 from __future__ import annotations
@@ -53,7 +58,8 @@ from repro.sim import Simulator
 from repro.traces.cache import cached_trace
 from repro.traces.synthetic import SyntheticWorkload
 
-SCHEMA = "eevfs-bench-perf/4"
+SCHEMA = "eevfs-bench-perf/5"
+SCHEMA_V4 = "eevfs-bench-perf/4"
 SCHEMA_V3 = "eevfs-bench-perf/3"
 SCHEMA_V2 = "eevfs-bench-perf/2"
 SCHEMA_V1 = "eevfs-bench-perf/1"
@@ -157,6 +163,36 @@ def online_run_benchmark(n_requests: int = 1000, repeats: int = 3) -> Dict[str, 
         "n_requests": n_requests,
         "wall_s": best,
         "runs_per_s": 1.0 / best if best > 0 else float("inf"),
+    }
+
+
+def ssd_run_benchmark(n_requests: int = 1000, repeats: int = 3) -> Dict[str, Any]:
+    """Best-of-N wall clock for one EEVFS run on an SSD buffer tier.
+
+    Write-heavy on purpose: rewrite churn drives the write cache,
+    destager and garbage collector, so this number moves when the FTL
+    hot path regresses -- which a read-mostly run would never notice.
+    The (deterministic) write amplification rides along as a sanity
+    column.
+    """
+    trace = cached_trace(
+        "synthetic", SyntheticWorkload(n_requests=n_requests, write_fraction=0.4), 1
+    )
+    config = EEVFSConfig(
+        buffer_backend="ssd", ssd_capacity_mb=32, ssd_buffer_idle_s=2.0
+    )
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = run_eevfs(trace, config=config, seed=0)
+        best = min(best, time.perf_counter() - start)
+    assert result is not None
+    return {
+        "n_requests": n_requests,
+        "wall_s": best,
+        "runs_per_s": 1.0 / best if best > 0 else float("inf"),
+        "write_amplification": result.ssd_write_amplification,
     }
 
 
@@ -271,6 +307,7 @@ def _history_entry(report: Dict[str, Any]) -> Dict[str, Any]:
     single = report.get("single_run") or {}
     online = report.get("online_run") or {}
     meanfield = report.get("meanfield_run") or {}
+    ssd = report.get("ssd_run") or {}
     parallel = report.get("parallel") or {}
     return {
         "ts": report.get("ts"),
@@ -284,6 +321,8 @@ def _history_entry(report: Dict[str, Any]) -> Dict[str, Any]:
         "online_run_runs_per_s": online.get("runs_per_s"),
         "meanfield_points_per_s": meanfield.get("points_per_s"),
         "meanfield_speedup_vs_discrete": meanfield.get("speedup_vs_discrete"),
+        "ssd_run_wall_s": ssd.get("wall_s"),
+        "ssd_run_runs_per_s": ssd.get("runs_per_s"),
         "parallel_jobs": parallel.get("jobs_effective", parallel.get("jobs")),
         "parallel_pool_available": parallel.get("pool_available"),
         "parallel_speedup": parallel.get("speedup"),
@@ -293,8 +332,8 @@ def _history_entry(report: Dict[str, Any]) -> Dict[str, Any]:
 def load_history(out_path: os.PathLike) -> List[Dict[str, Any]]:
     """Prior run history from an existing report file (empty if none).
 
-    A v4, v3 or v2 file contributes its ``history`` list (older entries
-    simply lack the newer columns); a v1 file (no history) is migrated
+    A v2..v4 (or current) file contributes its ``history`` list (older
+    entries simply lack the newer columns); a v1 file (no history) is migrated
     by synthesising one entry from its top-level sections.  An
     unreadable or alien file contributes nothing -- the benchmark must
     never fail because an old artifact went stale.
@@ -309,7 +348,7 @@ def load_history(out_path: os.PathLike) -> List[Dict[str, Any]]:
     if not isinstance(previous, dict):
         return []
     schema = previous.get("schema")
-    if schema in (SCHEMA, SCHEMA_V3, SCHEMA_V2):
+    if schema in (SCHEMA, SCHEMA_V4, SCHEMA_V3, SCHEMA_V2):
         history = previous.get("history")
         return list(history) if isinstance(history, list) else []
     if schema == SCHEMA_V1:
@@ -322,7 +361,7 @@ def run_perf_benchmark(
     jobs: Optional[int] = None,
     out_path: Optional[os.PathLike] = DEFAULT_PATH,
 ) -> Dict[str, Any]:
-    """Run all six benchmark families; optionally write the JSON file.
+    """Run all seven benchmark families; optionally write the JSON file.
 
     When *out_path* already holds a previous report, its run history is
     carried forward and this run is appended -- the file accumulates the
@@ -338,6 +377,7 @@ def run_perf_benchmark(
         "single_run": single_run_benchmark(n_requests=n_requests),
         "online_run": online_run_benchmark(n_requests=n_requests),
         "meanfield_run": meanfield_run_benchmark(),
+        "ssd_run": ssd_run_benchmark(n_requests=n_requests),
         "parallel": parallel_benchmark(
             n_requests=max(50, n_requests // 2), jobs=jobs
         ),
@@ -363,6 +403,10 @@ def validate_report(report: Dict[str, Any]) -> List[str]:
         (
             "meanfield_run",
             ("n_points", "wall_s", "points_per_s", "speedup_vs_discrete"),
+        ),
+        (
+            "ssd_run",
+            ("n_requests", "wall_s", "runs_per_s", "write_amplification"),
         ),
         (
             "parallel",
@@ -421,6 +465,7 @@ def render_report(report: Dict[str, Any]) -> str:
     single = report["single_run"]
     online = report["online_run"]
     meanfield = report["meanfield_run"]
+    ssd = report["ssd_run"]
     parallel = report["parallel"]
     history = report.get("history", [])
     overhead_pct = (
@@ -443,6 +488,9 @@ def render_report(report: Dict[str, Any]) -> str:
             f"mean-field  {meanfield['n_points']} points in "
             f"{meanfield['wall_s']:.3f} s ({meanfield['points_per_s']:.0f} points/s; "
             f"{meanfield['speedup_vs_discrete']:,.0f}x vs one discrete run)",
+            f"ssd run     {ssd['wall_s']:.3f} s at {ssd['n_requests']} "
+            f"requests ({ssd['runs_per_s']:.2f} runs/s; "
+            f"WA={ssd['write_amplification']:.2f})",
             f"parallel    {parallel['speedup']:.2f}x with "
             f"jobs={parallel['jobs_effective']} over "
             f"{parallel['n_jobs_in_batch']} jobs "

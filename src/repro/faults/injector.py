@@ -42,7 +42,7 @@ from repro.sim.rng import RandomStreams
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.filesystem import EEVFSCluster
     from repro.core.node import StorageNode
-    from repro.disk.drive import SimDisk
+    from repro.backend.protocol import StorageBackend
     from repro.metaplane.plane import MetaPlane
 
 
@@ -63,7 +63,7 @@ class FaultInjector:
         self._nodes: Dict[str, "StorageNode"] = {
             node.spec.name: node for node in cluster.nodes
         }
-        self._disks: Dict[str, "SimDisk"] = {
+        self._disks: Dict[str, "StorageBackend"] = {
             disk.name: disk for node in cluster.nodes for disk in node.all_disks
         }
         for action in self.actions:  # fail fast on typos, before the run
@@ -85,7 +85,7 @@ class FaultInjector:
         except KeyError:
             raise KeyError(f"unknown storage node: {action.target!r}") from None
 
-    def _disk(self, action: FaultAction) -> "SimDisk":
+    def _disk(self, action: FaultAction) -> "StorageBackend":
         try:
             return self._disks[action.target]
         except KeyError:

@@ -107,3 +107,81 @@ class TestDestaging:
         trace = write_trace(write_fraction=0.7)
         result = run_eevfs(trace, EEVFSConfig(destage_check_interval_s=3.0))
         assert result.requests_total == trace.n_requests
+
+
+class TestDestageUnderContention:
+    """Destage racing host traffic on the buffer disk: the write-back
+    must lose to demand I/O, keep serving readers from the (still
+    current) buffer copy, and yield to a re-dirtying writer."""
+
+    @staticmethod
+    def _node(config=None):
+        from repro.core.config import NodeSpec
+        from repro.core.node import StorageNode
+        from repro.disk.specs import ATA_80GB_TYPE1
+        from repro.net.fabric import Fabric
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        fabric = Fabric(sim)
+        fabric.add_endpoint("server", 1e9)
+        spec = NodeSpec(name="n1", disk_spec=ATA_80GB_TYPE1, n_data_disks=2)
+        node = StorageNode(sim, fabric, spec, config or EEVFSConfig())
+        return sim, node
+
+    def test_redirty_mid_destage_keeps_the_newer_copy(self):
+        sim, node = self._node()
+        node.metadata.create(0, 10 * MB)
+        node.write_buffer.stage(0, 10 * MB, sim.now)
+        destage = sim.process(node._destage_one(0))
+
+        def rewriter():
+            # Land while the destage's buffer read is still in service.
+            yield sim.timeout(0.01)
+            node.write_buffer.stage(0, 12 * MB, sim.now)
+
+        sim.process(rewriter())
+        sim.run(until=destage)
+        # The write-back completed, but the newer staged data survived
+        # it: the file is still dirty at the rewritten size.
+        assert node.writes_destaged == 1
+        assert dict(node.write_buffer.destage_plan()) == {0: 12 * MB}
+
+    def test_reads_route_to_buffer_throughout_the_writeback(self):
+        sim, node = self._node()
+        node.metadata.create(0, 10 * MB)
+        node.write_buffer.stage(0, 10 * MB, sim.now)
+        destage = sim.process(node._destage_one(0))
+        sim.run(until=0.01)  # mid write-back
+        assert not destage.triggered
+        _, served_by = node._route_read(0)
+        assert served_by == "buffer"
+        sim.run(until=destage)
+        # Destaged and clean: the next read goes to the owning data disk.
+        _, served_by = node._route_read(0)
+        assert served_by.startswith("data")
+
+    def test_demand_read_overtakes_a_queued_destage(self):
+        from repro.disk.drive import RequestKind
+
+        sim, node = self._node()
+        node.metadata.create(0, 10 * MB)
+        node.write_buffer.stage(0, 10 * MB, sim.now)
+        # Occupy the buffer disk so the destage's background read queues.
+        blocker = node.buffer_disk.submit(8 * MB, kind=RequestKind.READ)
+        destage = sim.process(node._destage_one(0))
+        sim.run(until=0.001)
+        assert not blocker.done.triggered  # still in service; destage queued
+        demand = node.buffer_disk.submit(1 * MB, kind=RequestKind.READ)
+        demand_done_at = []
+
+        def waiter():
+            yield demand.done
+            demand_done_at.append(sim.now)
+
+        sim.process(waiter())
+        sim.run(until=destage)
+        # The demand read arrived *after* the destage read was queued,
+        # yet its priority put it on the platters first: it completed
+        # strictly before the write-back did.
+        assert demand_done_at and demand_done_at[0] < sim.now

@@ -1,0 +1,13 @@
+"""Known-bad fixture: raw generators inside the backend package.
+
+FTL victim selection and channel scheduling must be pure functions of
+the request stream; an unseeded generator here would make GC order --
+and with it write amplification -- differ run to run.
+"""
+
+import numpy as np
+
+
+def pick_victim(blocks):
+    rng = np.random.default_rng()
+    return blocks[rng.integers(0, len(blocks))]

@@ -1,0 +1,15 @@
+"""Known-bad fixture: unordered iteration in the backend package.
+
+Iterating a dict view or set while choosing destage order or GC
+victims feeds hash order into the channel queues -- exactly what
+DET003 exists to catch in repro.backend.
+"""
+
+
+def destage_order(dirty):
+    order = []
+    for entry in dirty.values():
+        order.append(entry)
+    for channel in {0, 1}:
+        order.append(channel)
+    return order

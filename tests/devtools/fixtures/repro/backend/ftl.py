@@ -1,0 +1,9 @@
+"""Known-bad fixture: an FTL bookkeeping class without ``__slots__``."""
+
+
+class BlockState:
+    """Per-block record missing its ``__slots__`` declaration."""
+
+    def __init__(self, block_id):
+        self.block_id = block_id
+        self.valid = 0

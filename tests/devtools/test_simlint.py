@@ -91,6 +91,22 @@ class TestRuleFindings:
             ("DET003", 13),  # set literal
         ]
 
+    def test_det001_covers_the_backend_package(self):
+        assert findings_for(fixture("repro", "backend", "det001_bad.py")) == [
+            ("DET001", 12),  # unseeded np.random.default_rng()
+        ]
+
+    def test_det003_covers_the_backend_package(self):
+        assert findings_for(fixture("repro", "backend", "det003_bad.py")) == [
+            ("DET003", 11),  # .values()
+            ("DET003", 13),  # set literal
+        ]
+
+    def test_sim002_covers_the_ftl_module(self):
+        assert findings_for(fixture("repro", "backend", "ftl.py")) == [
+            ("SIM002", 4),
+        ]
+
     def test_det003_only_fires_in_ordered_packages(self):
         source = "def f(d):\n    for v in d.values():\n        print(v)\n"
         active, _ = lint_source("scratch/elsewhere.py", source)

@@ -284,6 +284,73 @@ class TestIdleWatchdog:
         run_client(sim, client())
 
 
+class TestSetIdleThreshold:
+    """Edge cases of retargeting the idle timer (the online controller's
+    knob): no-timer and negative inputs reject, zero is a legal "sleep
+    as soon as idle", and a countdown already running keeps its original
+    deadline so only the *next* idle period sees the new value."""
+
+    def test_rejected_without_idle_timer(self, sim):
+        disk = SimDisk(sim, SPEC)
+        with pytest.raises(ValueError, match="no idle timer"):
+            disk.set_idle_threshold(1.0)
+
+    def test_negative_rejected(self, sim):
+        disk = SimDisk(sim, SPEC, auto_sleep_after=5.0)
+        with pytest.raises(ValueError):
+            disk.set_idle_threshold(-0.001)
+        assert disk.auto_sleep_after == 5.0  # unchanged after the reject
+
+    def test_integer_input_is_stored_as_float(self, sim):
+        disk = SimDisk(sim, SPEC, auto_sleep_after=5.0)
+        disk.set_idle_threshold(2)
+        assert isinstance(disk.auto_sleep_after, float)
+        assert disk.auto_sleep_after == 2.0
+
+    def test_zero_threshold_sleeps_as_soon_as_idle(self, sim):
+        disk = SimDisk(sim, SPEC, auto_sleep_after=5.0)
+
+        def client():
+            req = disk.submit(1 * MB)
+            disk.set_idle_threshold(0)  # retarget while in flight
+            yield req.done
+            yield sim.timeout(SPEC.spindown_s + 0.01)
+            assert disk.state is DiskState.STANDBY
+
+        run_client(sim, client())
+
+    def test_running_countdown_keeps_its_original_deadline(self, sim):
+        disk = SimDisk(sim, SPEC, auto_sleep_after=5.0)
+
+        def client():
+            req = disk.submit(1 * MB)
+            yield req.done
+            yield sim.timeout(1.0)
+            disk.set_idle_threshold(0.5)  # 0.5 s already elapsed idle
+            yield sim.timeout(1.0 + SPEC.spindown_s)
+            # Were the new threshold applied retroactively the disk
+            # would be asleep by now; the armed 5.0 s countdown holds.
+            assert disk.state is DiskState.IDLE
+            yield sim.timeout(3.0 + SPEC.spindown_s + 0.01)
+            assert disk.state is DiskState.STANDBY
+
+        run_client(sim, client())
+
+    def test_new_threshold_governs_the_next_idle_period(self, sim):
+        disk = SimDisk(sim, SPEC, auto_sleep_after=0.5)
+
+        def client():
+            req = disk.submit(1 * MB)
+            disk.set_idle_threshold(3.0)
+            yield req.done
+            yield sim.timeout(2.9)
+            assert disk.state is DiskState.IDLE  # old 0.5 s is history
+            yield sim.timeout(0.2 + SPEC.spindown_s)
+            assert disk.state is DiskState.STANDBY
+
+        run_client(sim, client())
+
+
 class TestValidation:
     def test_negative_request_size_rejected(self, sim):
         disk = SimDisk(sim, SPEC)
